@@ -1,0 +1,187 @@
+// Command voiceprint-train completes the offline workflow: given a trace
+// CSV (cmd/vanet-sim) and its ground-truth sidecar, it harvests every
+// labelled pairwise comparison (the Figure 10 procedure) and trains the
+// density-adaptive decision boundary, printing the k and b to feed
+// cmd/voiceprint.
+//
+// Usage:
+//
+//	voiceprint-train -trace trace.csv -truth truth.csv \
+//	                 [-observation 20s -period 20s -range 1000]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"voiceprint/internal/core"
+	"voiceprint/internal/lda"
+	"voiceprint/internal/timeseries"
+	"voiceprint/internal/trace"
+	"voiceprint/internal/vanet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "voiceprint-train: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tracePath := flag.String("trace", "", "input trace CSV (required)")
+	truthPath := flag.String("truth", "", "ground-truth CSV from vanet-sim (required)")
+	observation := flag.Duration("observation", 20*time.Second, "observation window")
+	period := flag.Duration("period", 20*time.Second, "detection period")
+	maxRange := flag.Float64("range", 1000, "assumed max transmission range (m)")
+	flag.Parse()
+	if *tracePath == "" || *truthPath == "" {
+		return fmt.Errorf("missing -trace or -truth (see -h)")
+	}
+
+	truth, err := readTruth(*truthPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+
+	byReceiver := make(map[vanet.NodeID][]trace.Record)
+	var horizon time.Duration
+	for _, r := range records {
+		byReceiver[r.Receiver] = append(byReceiver[r.Receiver], r)
+		if r.T > horizon {
+			horizon = r.T
+		}
+	}
+
+	harvester, err := core.New(core.DefaultConfig(lda.Boundary{K: 0, B: -1}))
+	if err != nil {
+		return err
+	}
+	var points []lda.Point
+	receivers := make([]vanet.NodeID, 0, len(byReceiver))
+	for id := range byReceiver {
+		receivers = append(receivers, id)
+	}
+	sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
+	for _, recv := range receivers {
+		series, err := trace.ToSeries(byReceiver[recv])
+		if err != nil {
+			return err
+		}
+		est, err := core.NewDensityEstimator(*maxRange)
+		if err != nil {
+			return err
+		}
+		for end := *period; end <= horizon+*period; end += *period {
+			from := end - *observation
+			if from < 0 {
+				from = 0
+			}
+			input := make(map[vanet.NodeID]*timeseries.Series, len(series))
+			for id, s := range series {
+				w := s.Window(from, end)
+				if w.Len() > 0 {
+					input[id] = w
+				}
+			}
+			if len(input) == 0 {
+				continue
+			}
+			heard := make([]vanet.NodeID, 0, len(input))
+			for id := range input {
+				heard = append(heard, id)
+			}
+			density := est.Estimate(heard)
+			res, err := harvester.Detect(input, density)
+			if err != nil {
+				return err
+			}
+			for _, p := range res.Pairs {
+				points = append(points, lda.Point{
+					Density:   density,
+					Distance:  p.Normalized,
+					SybilPair: truth.SybilPair(p.A, p.B),
+				})
+			}
+		}
+	}
+
+	boundary, err := lda.TrainLine(points, 8)
+	if err != nil {
+		return err
+	}
+	sybil, normal := 0, 0
+	for _, p := range points {
+		if p.SybilPair {
+			sybil++
+		} else {
+			normal++
+		}
+	}
+	fmt.Printf("harvested %d pairs (%d sybil, %d normal)\n", len(points), sybil, normal)
+	fmt.Printf("trained boundary: %v\n", boundary)
+	fmt.Printf("training accuracy: %.4f\n", lda.Accuracy(boundary, points))
+	fmt.Printf("\nrun detection with:\n  voiceprint -trace %s -k %.6g -b %.6g\n",
+		*tracePath, boundary.K, boundary.B)
+	return nil
+}
+
+// readTruth parses the vanet-sim sidecar: id,role,owner.
+func readTruth(path string) (vanet.Truth, error) {
+	truth := vanet.Truth{
+		Sybil:     make(map[vanet.NodeID]bool),
+		Malicious: make(map[vanet.NodeID]bool),
+		Owner:     make(map[vanet.NodeID]vanet.NodeID),
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return truth, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return truth, err
+	}
+	if len(rows) == 0 || rows[0][0] != "id" {
+		return truth, fmt.Errorf("unexpected truth header")
+	}
+	for i, row := range rows[1:] {
+		if len(row) != 3 {
+			return truth, fmt.Errorf("truth row %d: want 3 columns", i+2)
+		}
+		id, err := strconv.ParseUint(row[0], 10, 32)
+		if err != nil {
+			return truth, fmt.Errorf("truth row %d: %w", i+2, err)
+		}
+		owner, err := strconv.ParseUint(row[2], 10, 32)
+		if err != nil {
+			return truth, fmt.Errorf("truth row %d: %w", i+2, err)
+		}
+		nid := vanet.NodeID(id)
+		truth.Owner[nid] = vanet.NodeID(owner)
+		switch row[1] {
+		case "sybil":
+			truth.Sybil[nid] = true
+		case "malicious":
+			truth.Malicious[nid] = true
+		case "normal":
+		default:
+			return truth, fmt.Errorf("truth row %d: unknown role %q", i+2, row[1])
+		}
+	}
+	return truth, nil
+}

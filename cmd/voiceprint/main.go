@@ -1,0 +1,138 @@
+// Command voiceprint runs the Voiceprint Sybil detector offline over a
+// recorded RSSI trace (the CSV format written by cmd/vanet-sim or by the
+// trace package), the way the paper's field-test laptops post-processed
+// their logs.
+//
+// Usage:
+//
+//	voiceprint -trace trace.csv [-k 0.000025 -b 0.0067] \
+//	           [-observation 20s -period 20s -range 1000]
+//
+// Output: per receiver and detection period, the flagged Sybil suspects
+// and the pairwise distances that convicted them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"voiceprint/internal/core"
+	"voiceprint/internal/lda"
+	"voiceprint/internal/timeseries"
+	"voiceprint/internal/trace"
+	"voiceprint/internal/vanet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "voiceprint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tracePath := flag.String("trace", "", "input trace CSV (required)")
+	k := flag.Float64("k", 0.000025, "boundary slope (Figure 10)")
+	b := flag.Float64("b", 0.0067, "boundary intercept (Figure 10)")
+	observation := flag.Duration("observation", 20*time.Second, "observation window")
+	period := flag.Duration("period", 20*time.Second, "detection period")
+	maxRange := flag.Float64("range", 1000, "assumed max transmission range (m), for Eq 9 density estimation")
+	verbose := flag.Bool("v", false, "print every pairwise distance")
+	flag.Parse()
+	if *tracePath == "" {
+		return fmt.Errorf("missing -trace (see -h)")
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+
+	// Split records by receiver.
+	byReceiver := make(map[vanet.NodeID][]trace.Record)
+	var horizon time.Duration
+	for _, r := range records {
+		byReceiver[r.Receiver] = append(byReceiver[r.Receiver], r)
+		if r.T > horizon {
+			horizon = r.T
+		}
+	}
+	receivers := make([]vanet.NodeID, 0, len(byReceiver))
+	for id := range byReceiver {
+		receivers = append(receivers, id)
+	}
+	sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
+
+	det, err := core.New(core.DefaultConfig(lda.Boundary{K: *k, B: *b}))
+	if err != nil {
+		return err
+	}
+
+	for _, recv := range receivers {
+		series, err := trace.ToSeries(byReceiver[recv])
+		if err != nil {
+			return err
+		}
+		est, err := core.NewDensityEstimator(*maxRange)
+		if err != nil {
+			return err
+		}
+		for end := *period; end <= horizon+*period; end += *period {
+			from := end - *observation
+			if from < 0 {
+				from = 0
+			}
+			input := sliceSeries(series, from, end)
+			if len(input) == 0 {
+				continue
+			}
+			heard := make([]vanet.NodeID, 0, len(input))
+			for id := range input {
+				heard = append(heard, id)
+			}
+			density := est.Estimate(heard)
+			res, err := det.Detect(input, density)
+			if err != nil {
+				return err
+			}
+			est.Record(res.Suspects)
+			if len(res.Suspects) == 0 && !*verbose {
+				continue
+			}
+			suspects := make([]vanet.NodeID, 0, len(res.Suspects))
+			for id := range res.Suspects {
+				suspects = append(suspects, id)
+			}
+			sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
+			fmt.Printf("receiver %d t=[%v,%v) den=%.1f considered=%d suspects=%v\n",
+				recv, from, end, density, len(res.Considered), suspects)
+			if *verbose {
+				for _, p := range res.Pairs {
+					fmt.Printf("  (%d,%d) raw=%.5f norm=%.4f flagged=%v\n",
+						p.A, p.B, p.Raw, p.Normalized, p.Flagged)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sliceSeries windows each sender's series to [from, to).
+func sliceSeries(series map[vanet.NodeID]*timeseries.Series, from, to time.Duration) map[vanet.NodeID]*timeseries.Series {
+	out := make(map[vanet.NodeID]*timeseries.Series, len(series))
+	for id, s := range series {
+		w := s.Window(from, to)
+		if w.Len() > 0 {
+			out[id] = w
+		}
+	}
+	return out
+}

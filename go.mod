@@ -1,0 +1,3 @@
+module voiceprint
+
+go 1.22

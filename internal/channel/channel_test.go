@@ -1,0 +1,171 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero slot", func(p *Params) { p.SlotTime = 0 }},
+		{"zero sifs", func(p *Params) { p.SIFS = 0 }},
+		{"zero rate", func(p *Params) { p.DataRateBps = 0 }},
+		{"zero packet", func(p *Params) { p.PacketBytes = 0 }},
+		{"zero beacon rate", func(p *Params) { p.BeaconRateHz = 0 }},
+		{"zero cs range", func(p *Params) { p.CarrierSenseRange = 0 }},
+		{"negative alpha", func(p *Params) { p.CollisionAlpha = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestAirTime(t *testing.T) {
+	p := DefaultParams()
+	// 500 bytes at 3 Mbps = 1.333 ms payload + 40 us overhead.
+	payload := float64(500*8) / 3e6
+	want := 40*time.Microsecond + time.Duration(payload*float64(time.Second))
+	if got := p.AirTime(); got != want {
+		t.Errorf("AirTime = %v, want %v", got, want)
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	p := DefaultParams()
+	// 100 identities at 10 Hz = 1000 tx/s.
+	load := p.OfferedLoad(1000)
+	want := 1000 * p.AirTime().Seconds()
+	if math.Abs(load-want) > 1e-12 {
+		t.Errorf("load = %v, want %v", load, want)
+	}
+	if p.OfferedLoad(-5) != 0 {
+		t.Error("negative rate should clamp to zero load")
+	}
+}
+
+func TestDeliveryProbMonotone(t *testing.T) {
+	p := DefaultParams()
+	if p.DeliveryProb(0) != 1 {
+		t.Errorf("DeliveryProb(0) = %v, want 1", p.DeliveryProb(0))
+	}
+	prev := 1.0
+	for load := 0.1; load < 10; load += 0.1 {
+		cur := p.DeliveryProb(load)
+		if cur > prev {
+			t.Fatalf("delivery prob increased with load at %v", load)
+		}
+		if cur <= 0 || cur > 1 {
+			t.Fatalf("delivery prob out of range: %v", cur)
+		}
+		prev = cur
+	}
+	if p.DeliveryProb(-1) != 1 {
+		t.Error("negative load should clamp to 1")
+	}
+}
+
+func TestDecideSensitivityFloor(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(81))
+	out, _ := p.Decide(-96, 0, rng)
+	if out != LostBelowSensitivity {
+		t.Errorf("outcome = %v, want LostBelowSensitivity", out)
+	}
+	out, rssi := p.Decide(-80, 0, rng)
+	if out != Received || rssi != -80 {
+		t.Errorf("outcome = %v rssi = %v, want Received -80", out, rssi)
+	}
+}
+
+func TestDecideCollisionRate(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(82))
+	const load = 2.0
+	const n = 50000
+	received := 0
+	for i := 0; i < n; i++ {
+		out, _ := p.Decide(-70, load, rng)
+		switch out {
+		case Received:
+			received++
+		case LostCollision:
+		default:
+			t.Fatalf("unexpected outcome %v", out)
+		}
+	}
+	want := p.DeliveryProb(load)
+	got := float64(received) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical delivery %v, want %v", got, want)
+	}
+}
+
+func TestDecideNoLossAtZeroLoad(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(83))
+	for i := 0; i < 1000; i++ {
+		out, _ := p.Decide(-70, 0, rng)
+		if out != Received {
+			t.Fatalf("beacon lost at zero load: %v", out)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{Received, "received"},
+		{LostBelowSensitivity, "lost-sensitivity"},
+		{LostCollision, "lost-collision"},
+		{Outcome(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", tt.o, got, tt.want)
+		}
+	}
+}
+
+// TestLossShapeAcrossDensities pins the calibration the Figure 11
+// experiments rely on: light loss at 10 vhls/km, substantial loss at
+// 100 vhls/km.
+func TestLossShapeAcrossDensities(t *testing.T) {
+	p := DefaultParams()
+	// Identities within CS range ~ density * 2*CSRange (in km), sending at
+	// 10 Hz each.
+	lossAt := func(densityPerKm float64) float64 {
+		ids := densityPerKm * 2 * p.CarrierSenseRange / 1000
+		load := p.OfferedLoad(ids * p.BeaconRateHz)
+		return 1 - p.DeliveryProb(load)
+	}
+	low := lossAt(10)
+	high := lossAt(100)
+	if low > 0.15 {
+		t.Errorf("loss at 10 vhls/km = %.3f, want <= 0.15", low)
+	}
+	if high < 0.3 || high > 0.8 {
+		t.Errorf("loss at 100 vhls/km = %.3f, want 0.3-0.8", high)
+	}
+	if high <= low {
+		t.Error("loss must grow with density")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+
+	"voiceprint/internal/vanet"
+)
+
+// Confirmer implements the paper's closing suggestion: "making a final
+// determination of the Sybil node after several detection periods so as to
+// reduce the false positive rate". An identity is confirmed once it has
+// been flagged in at least Need of the last Window rounds.
+type Confirmer struct {
+	window int
+	need   int
+	// history[id] holds the flag outcomes of the last <= window rounds.
+	history map[vanet.NodeID][]bool
+}
+
+// NewConfirmer builds a Confirmer requiring need flags within a sliding
+// window of rounds (1 <= need <= window).
+func NewConfirmer(window, need int) (*Confirmer, error) {
+	if window < 1 || need < 1 || need > window {
+		return nil, errors.New("core: need 1 <= need <= window")
+	}
+	return &Confirmer{
+		window:  window,
+		need:    need,
+		history: make(map[vanet.NodeID][]bool),
+	}, nil
+}
+
+// Update folds in one detection round: heard lists the identities observed
+// this round (absent identities carry no vote), suspects the round's
+// flags. It returns the identities currently confirmed.
+func (c *Confirmer) Update(heard []vanet.NodeID, suspects map[vanet.NodeID]bool) map[vanet.NodeID]bool {
+	for _, id := range heard {
+		h := append(c.history[id], suspects[id])
+		if len(h) > c.window {
+			h = h[len(h)-c.window:]
+		}
+		c.history[id] = h
+	}
+	confirmed := make(map[vanet.NodeID]bool)
+	for id, h := range c.history {
+		flags := 0
+		for _, f := range h {
+			if f {
+				flags++
+			}
+		}
+		if flags >= c.need {
+			confirmed[id] = true
+		}
+	}
+	return confirmed
+}
+
+// Forget drops an identity's history (e.g. after it leaves range for a
+// long time).
+func (c *Confirmer) Forget(id vanet.NodeID) {
+	delete(c.history, id)
+}

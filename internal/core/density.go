@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+
+	"voiceprint/internal/vanet"
+)
+
+// EstimateDensity is Equation 9: den = N_normal / (2 * Dist_max), with
+// Dist_max in meters and the result in vehicles/km. heardLegit is the
+// number of distinct legitimate identities heard in the estimation period
+// ("one vehicle can only use the total number of received nodes in the
+// first estimation since it cannot recognize the legitimate ones at the
+// beginning").
+func EstimateDensity(heardLegit int, maxRangeM float64) (float64, error) {
+	if maxRangeM <= 0 {
+		return 0, errors.New("core: max transmission range must be positive")
+	}
+	if heardLegit < 0 {
+		return 0, errors.New("core: negative heard count")
+	}
+	return float64(heardLegit) / (2 * maxRangeM / 1000), nil
+}
+
+// DensityEstimator tracks detection outcomes across rounds so later
+// estimates exclude identities already confirmed as Sybil, per the
+// paper's note on the first estimation.
+type DensityEstimator struct {
+	maxRangeM  float64
+	knownSybil map[vanet.NodeID]bool
+}
+
+// NewDensityEstimator builds an estimator for a radio with the given
+// maximum transmission range in meters.
+func NewDensityEstimator(maxRangeM float64) (*DensityEstimator, error) {
+	if maxRangeM <= 0 {
+		return nil, errors.New("core: max transmission range must be positive")
+	}
+	return &DensityEstimator{
+		maxRangeM:  maxRangeM,
+		knownSybil: make(map[vanet.NodeID]bool),
+	}, nil
+}
+
+// Estimate returns the Equation 9 density for the identities heard this
+// period, discounting identities already known to be Sybil.
+func (e *DensityEstimator) Estimate(heard []vanet.NodeID) float64 {
+	legit := 0
+	for _, id := range heard {
+		if !e.knownSybil[id] {
+			legit++
+		}
+	}
+	den, err := EstimateDensity(legit, e.maxRangeM)
+	if err != nil {
+		// Unreachable: maxRangeM validated at construction, legit >= 0.
+		return 0
+	}
+	return den
+}
+
+// Record feeds a round's confirmed suspects back into the estimator.
+func (e *DensityEstimator) Record(suspects map[vanet.NodeID]bool) {
+	for id, v := range suspects {
+		if v {
+			e.knownSybil[id] = true
+		}
+	}
+}

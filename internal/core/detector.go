@@ -1,0 +1,315 @@
+// Package core implements Voiceprint, the paper's primary contribution
+// (Section IV, Algorithm 1): Sybil attack detection by similarity of RSSI
+// time series. Each detection period the detector
+//
+//  1. collects the per-identity RSSI series heard during the observation
+//     window (collection),
+//  2. Z-score-normalizes each series (Equation 7, removing spoofed
+//     per-identity TX power offsets), measures every pairwise similarity
+//     with FastDTW, and min-max-normalizes the distance batch into [0,1]
+//     (Equation 8) (comparison), and
+//  3. flags every pair whose normalized distance falls at or below the
+//     density-adaptive boundary D <= k*den + b (confirmation); both
+//     members of a flagged pair become Sybil suspects.
+//
+// The detector is model-free (no radio propagation model), independent
+// (only locally observed RSSI), and infrastructure-free (no RSU).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"voiceprint/internal/dtw"
+	"voiceprint/internal/lda"
+	"voiceprint/internal/stats"
+	"voiceprint/internal/timeseries"
+	"voiceprint/internal/vanet"
+)
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Boundary is the trained decision rule (Figure 10). Required:
+	// a zero boundary would flag only exact-zero distances.
+	Boundary lda.Boundary
+	// ObservationTime is the collection window (Table V: 20 s). Purely
+	// informational to the detector (the caller slices series), but kept
+	// for documentation and CLI plumbing.
+	ObservationTime time.Duration
+	// MinSamples is the minimum series length for an identity to enter
+	// comparison; shorter series (barely-heard, drive-by identities at the
+	// sensitivity fringe) carry too little shape to compare. Zero means 30
+	// (three seconds of beacons).
+	MinSamples int
+	// FastDTWRadius is the FastDTW search radius; zero means 4, which is
+	// empirically exact on same-transmitter series (see internal/dtw
+	// tests).
+	FastDTWRadius int
+	// BandRadius constrains the DTW search to a Sakoe-Chiba band of this
+	// many samples around the (resampled) diagonal. RSSI series are
+	// synchronized in absolute time — two identities of one radio emit at
+	// the same instants — so warping exists only to absorb packet-loss
+	// jitter, never multi-second time shifts; an unconstrained search
+	// lets two different vehicles' coarse sweep shapes align across large
+	// lags and masquerade as similar. Zero means 20 samples (2 s of
+	// beacons); negative selects unconstrained FastDTW (the ablation).
+	BandRadius int
+	// MinMedianRSSIDBm drops identities whose median logged RSSI falls
+	// below this floor: they sit at the sensitivity fringe, where series
+	// are truncation artifacts rather than channel shapes, and they are
+	// far outside the safety-relevant neighborhood the paper's Dist_max
+	// (~400 m) delimits. Zero disables; DefaultConfig uses -80 dBm (roughly 350 m in the highway channel).
+	MinMedianRSSIDBm float64
+	// AbsoluteRawCap additionally requires a flagged pair's raw
+	// per-sample DTW distance to be at or below this trained cap. The
+	// Equation 8 min-max normalization is purely relative — when no
+	// attacker is in view the closest normal pair always normalizes to 0
+	// and the boundary alone would convict it; a cap anchors the decision
+	// to the Sybil-pair distance scale. Zero disables the fixed cap (the
+	// adaptive cap below usually supersedes it).
+	AbsoluteRawCap float64
+	// AdaptiveCapKappa scales the self-calibrating cap: a flagged pair's
+	// raw distance must not exceed Kappa times the expected noise-only
+	// distance of the pair. Two identities of one radio share the channel
+	// (trend and correlated shadowing) and differ only by per-beacon
+	// measurement noise, so their per-sample DTW distance is bounded by a
+	// multiple of the summed noise variances; each series' noise level is
+	// separated from the correlated fading by the AR(1) moment estimator
+	// (stats.EstimateAR1Noise) on its Z-scored values. Unlike a fixed cap
+	// this transfers across channels — the noise scale is re-estimated
+	// from each round's own series. Zero means 1.5; negative disables.
+	AdaptiveCapKappa float64
+	// DisableZScore skips the Equation 7 Z-score normalization before
+	// comparison. Only the normalization ablation sets this: without it a
+	// malicious node can break series similarity by giving each Sybil
+	// identity a different TX power (Assumption 3).
+	DisableZScore bool
+	// DisableLengthNormalization turns off dividing each pair's DTW
+	// distance by the longer series length before the Equation 8 min-max
+	// step. Raw accumulated cost (Equation 6) grows with series length,
+	// so under heavy uneven packet loss pairs of short series would
+	// masquerade as similar; per-sample cost makes distances comparable.
+	// The zero value (normalization on) is the production behaviour; the
+	// ablation experiment flips this to quantify the effect.
+	DisableLengthNormalization bool
+}
+
+// DefaultConfig returns the paper's Table V detector settings.
+func DefaultConfig(boundary lda.Boundary) Config {
+	return Config{
+		Boundary:         boundary,
+		ObservationTime:  20 * time.Second,
+		MinSamples:       30,
+		FastDTWRadius:    4,
+		BandRadius:       20,
+		MinMedianRSSIDBm: -80,
+		AdaptiveCapKappa: 1.5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MinSamples < 0 {
+		return errors.New("core: MinSamples must be non-negative")
+	}
+	if c.FastDTWRadius < 0 {
+		return errors.New("core: FastDTWRadius must be non-negative")
+	}
+	if c.ObservationTime < 0 {
+		return errors.New("core: ObservationTime must be non-negative")
+	}
+	return nil
+}
+
+// Detector runs Voiceprint detection rounds. It is stateless across
+// rounds; use Confirmer for the paper's multi-period confirmation
+// suggestion.
+type Detector struct {
+	cfg Config
+}
+
+// New builds a Detector.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = 30
+	}
+	if cfg.FastDTWRadius == 0 {
+		cfg.FastDTWRadius = 4
+	}
+	if cfg.BandRadius == 0 {
+		cfg.BandRadius = 20
+	}
+	if cfg.AdaptiveCapKappa == 0 {
+		cfg.AdaptiveCapKappa = 1.5
+	}
+	return &Detector{cfg: cfg}, nil
+}
+
+// PairDistance is one pairwise comparison result.
+type PairDistance struct {
+	A, B vanet.NodeID
+	// Raw is the per-sample DTW distance of the Z-score-normalized series.
+	Raw float64
+	// NoiseCap is the pair's adaptive cap (0 when disabled): kappa times
+	// the expected noise-only distance.
+	NoiseCap float64
+	// Normalized is Raw after the batch min-max normalization
+	// (Equation 8); this is what the boundary thresholds.
+	Normalized float64
+	// Flagged reports whether the pair fell under the boundary.
+	Flagged bool
+}
+
+// Result is one detection round's outcome.
+type Result struct {
+	// Suspects holds the identities confirmed as Sybil suspects.
+	Suspects map[vanet.NodeID]bool
+	// Pairs holds every comparison, for training data harvesting
+	// (Figure 10) and diagnostics.
+	Pairs []PairDistance
+	// Considered lists the identities that had enough samples to compare,
+	// in ascending ID order.
+	Considered []vanet.NodeID
+	// Density is the density the boundary was evaluated at.
+	Density float64
+	// Skipped counts identities dropped for having too few samples.
+	Skipped int
+}
+
+// Detect runs one round over the series heard in the observation window.
+// density is the receiver's traffic-density estimate (Equation 9; see
+// EstimateDensity). Fewer than three usable identities yield an empty
+// result: with a single pair the min-max normalization of Equation 8 is
+// degenerate (the lone distance maps to 0 and would always be flagged).
+func (d *Detector) Detect(series map[vanet.NodeID]*timeseries.Series, density float64) (*Result, error) {
+	if density < 0 {
+		return nil, errors.New("core: negative density")
+	}
+	res := &Result{Suspects: make(map[vanet.NodeID]bool), Density: density}
+
+	// Phase 1 — collection (filter usable identities).
+	ids := make([]vanet.NodeID, 0, len(series))
+	for id, s := range series {
+		if s == nil || s.Len() < d.cfg.MinSamples {
+			res.Skipped++
+			continue
+		}
+		if d.cfg.MinMedianRSSIDBm != 0 {
+			med, err := stats.Median(s.Values())
+			if err != nil || med < d.cfg.MinMedianRSSIDBm {
+				res.Skipped++
+				continue
+			}
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	res.Considered = ids
+	if len(ids) < 3 {
+		return res, nil
+	}
+
+	// Phase 2 — comparison: Z-score normalize, pairwise FastDTW, then
+	// min-max normalize the distance batch.
+	normalized := make(map[vanet.NodeID][]float64, len(ids))
+	noiseVar := make(map[vanet.NodeID]float64, len(ids))
+	for _, id := range ids {
+		if d.cfg.DisableZScore {
+			normalized[id] = series[id].Values()
+		} else {
+			z, err := series[id].ZScoreNormalize()
+			if err != nil {
+				return nil, fmt.Errorf("core: normalize series %d: %w", id, err)
+			}
+			normalized[id] = z.Values()
+		}
+		nu, ok := stats.EstimateAR1Noise(normalized[id])
+		if !ok {
+			// Too short to separate noise from fading: conservative
+			// first-difference bound.
+			nu = stats.RobustDiffStd(normalized[id])
+		}
+		noiseVar[id] = nu * nu
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := normalized[ids[i]], normalized[ids[j]]
+			raw, err := d.compare(a, b)
+			if err != nil {
+				return nil, fmt.Errorf("core: compare %d/%d: %w", ids[i], ids[j], err)
+			}
+			if !d.cfg.DisableLengthNormalization {
+				n := len(a)
+				if len(b) > n {
+					n = len(b)
+				}
+				raw /= float64(n)
+			}
+			pd := PairDistance{A: ids[i], B: ids[j], Raw: raw}
+			if d.cfg.AdaptiveCapKappa > 0 {
+				pd.NoiseCap = d.cfg.AdaptiveCapKappa * (noiseVar[ids[i]] + noiseVar[ids[j]])
+			}
+			res.Pairs = append(res.Pairs, pd)
+		}
+	}
+	raws := make([]float64, len(res.Pairs))
+	for i, p := range res.Pairs {
+		raws[i] = p.Raw
+	}
+	norm, err := timeseries.MinMaxNormalize(raws)
+	if err != nil {
+		return nil, fmt.Errorf("core: min-max normalize distances: %w", err)
+	}
+
+	// Phase 3 — confirmation against the density-adaptive boundary (and
+	// the caps, when configured). One degenerate case first: when every
+	// pair in the round sits at noise level (all raw distances within
+	// their adaptive caps), the relative min-max ranking of Equation 8 is
+	// meaningless — all identities look like one transmitter — so every
+	// cap-passing pair is flagged. This is what convicts a Sybil cluster
+	// when it is the only thing in view, and it is also what reproduces
+	// the paper's red-light false positive: stationary vehicles' frozen
+	// channels degenerate into pure noise series (Section VI-B).
+	degenerate := d.cfg.AdaptiveCapKappa > 0 && len(res.Pairs) > 0
+	if degenerate {
+		for i := range res.Pairs {
+			if res.Pairs[i].Raw > res.Pairs[i].NoiseCap {
+				degenerate = false
+				break
+			}
+		}
+	}
+	for i := range res.Pairs {
+		res.Pairs[i].Normalized = norm[i]
+		if d.cfg.AbsoluteRawCap > 0 && res.Pairs[i].Raw > d.cfg.AbsoluteRawCap {
+			continue
+		}
+		if cap := res.Pairs[i].NoiseCap; cap > 0 && res.Pairs[i].Raw > cap {
+			continue
+		}
+		if degenerate || d.cfg.Boundary.IsSybilPair(density, norm[i]) {
+			res.Pairs[i].Flagged = true
+			res.Suspects[res.Pairs[i].A] = true
+			res.Suspects[res.Pairs[i].B] = true
+		}
+	}
+	return res, nil
+}
+
+// compare measures one pair: banded DTW by default, unconstrained
+// FastDTW when BandRadius < 0.
+func (d *Detector) compare(a, b []float64) (float64, error) {
+	if d.cfg.BandRadius < 0 {
+		return dtw.FastDistance(a, b, d.cfg.FastDTWRadius, nil)
+	}
+	w := dtw.SakoeChiba(len(a), len(b), d.cfg.BandRadius)
+	return dtw.ConstrainedDistance(a, b, w, nil)
+}
+
+// Config returns the detector's effective configuration.
+func (d *Detector) Config() Config { return d.cfg }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"voiceprint/internal/timeseries"
+	"voiceprint/internal/vanet"
+)
+
+// Monitor is the online face of the detector: a vehicle feeds it every
+// received beacon as it arrives and asks for a verdict once per detection
+// period. It owns the rolling observation window, the Equation 9 density
+// estimator and the multi-period Confirmer, so embedding Voiceprint in an
+// OBU's receive path is three calls: Observe, Detect, Confirmed.
+type Monitor struct {
+	det       *Detector
+	estimator *DensityEstimator
+	confirmer *Confirmer
+
+	window  time.Duration
+	series  map[vanet.NodeID]*timeseries.Series
+	lastObs map[vanet.NodeID]time.Duration
+	now     time.Duration
+}
+
+// MonitorConfig configures a Monitor.
+type MonitorConfig struct {
+	// Detector is the detection configuration (boundary, normalizations).
+	Detector Config
+	// MaxRangeM is Dist_max for density estimation; zero means 400 m.
+	MaxRangeM float64
+	// ConfirmWindow and ConfirmNeed set the multi-period confirmation
+	// rule; zero means 3-of-5 is NOT applied (confirm on first flag:
+	// window 1, need 1).
+	ConfirmWindow, ConfirmNeed int
+	// EvictAfter drops identities not heard for this long; zero means
+	// twice the detector's observation time.
+	EvictAfter time.Duration
+}
+
+// NewMonitor builds a Monitor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	det, err := New(cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxRangeM == 0 {
+		cfg.MaxRangeM = 400
+	}
+	est, err := NewDensityEstimator(cfg.MaxRangeM)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ConfirmWindow == 0 {
+		cfg.ConfirmWindow = 1
+		cfg.ConfirmNeed = 1
+	}
+	conf, err := NewConfirmer(cfg.ConfirmWindow, cfg.ConfirmNeed)
+	if err != nil {
+		return nil, err
+	}
+	window := det.Config().ObservationTime
+	if window == 0 {
+		window = 20 * time.Second
+	}
+	return &Monitor{
+		det:       det,
+		estimator: est,
+		confirmer: conf,
+		window:    window,
+		series:    make(map[vanet.NodeID]*timeseries.Series),
+		lastObs:   make(map[vanet.NodeID]time.Duration),
+	}, nil
+}
+
+// ErrTimeBackwards is returned when observations regress in time.
+var ErrTimeBackwards = errors.New("core: observation time went backwards")
+
+// Observe feeds one received beacon. Observations must be non-decreasing
+// in time across all identities.
+func (m *Monitor) Observe(id vanet.NodeID, t time.Duration, rssi float64) error {
+	if t < m.now {
+		return fmt.Errorf("%w: %v after %v", ErrTimeBackwards, t, m.now)
+	}
+	m.now = t
+	s := m.series[id]
+	if s == nil {
+		s = timeseries.New(64)
+		m.series[id] = s
+	}
+	if err := s.Append(t, rssi); err != nil {
+		return err
+	}
+	m.lastObs[id] = t
+	return nil
+}
+
+// Detect runs one detection round over the trailing observation window,
+// updates the confirmer, and returns the round result. Call it once per
+// detection period.
+func (m *Monitor) Detect() (*Result, error) {
+	from := m.now - m.window
+	if from < 0 {
+		from = 0
+	}
+	m.evict()
+	input := make(map[vanet.NodeID]*timeseries.Series, len(m.series))
+	heard := make([]vanet.NodeID, 0, len(m.series))
+	for id, s := range m.series {
+		w := s.Window(from, m.now+1)
+		if w.Len() == 0 {
+			continue
+		}
+		input[id] = w
+		heard = append(heard, id)
+	}
+	density := m.estimator.Estimate(heard)
+	res, err := m.det.Detect(input, density)
+	if err != nil {
+		return nil, err
+	}
+	m.estimator.Record(res.Suspects)
+	m.confirmer.Update(res.Considered, res.Suspects)
+	return res, nil
+}
+
+// Confirmed returns the identities currently confirmed as Sybil under the
+// multi-period rule.
+func (m *Monitor) Confirmed() map[vanet.NodeID]bool {
+	return m.confirmer.Update(nil, nil)
+}
+
+// Tracked returns how many identities the monitor currently buffers.
+func (m *Monitor) Tracked() int { return len(m.series) }
+
+// evict drops identities that have gone silent, bounding memory on long
+// drives past thousands of vehicles.
+func (m *Monitor) evict() {
+	evictAfter := 2 * m.window
+	for id, last := range m.lastObs {
+		if m.now-last > evictAfter {
+			delete(m.series, id)
+			delete(m.lastObs, id)
+			m.confirmer.Forget(id)
+		}
+	}
+	// Rebuild buffers so evicted history does not pin backing arrays; the
+	// kept series also shrink to the relevant window.
+	from := m.now - evictAfter
+	if from < 0 {
+		return
+	}
+	for id, s := range m.series {
+		m.series[id] = s.Window(from, m.now+1)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"voiceprint/internal/vanet"
+)
+
+func testMonitor(t *testing.T, confirmWindow, confirmNeed int) *Monitor {
+	t.Helper()
+	cfg := DefaultConfig(testBoundary())
+	cfg.MinMedianRSSIDBm = 0
+	m, err := NewMonitor(MonitorConfig{
+		Detector:      cfg,
+		ConfirmWindow: confirmWindow,
+		ConfirmNeed:   confirmNeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMonitorDetectsCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	m := testMonitor(t, 1, 1)
+	// Feed identity-by-identity is not time-monotone; stream per step
+	// instead.
+	series := sybilCluster(rng, 5)
+	maxLen := 0
+	for _, s := range series {
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	idx := make(map[vanet.NodeID]int, len(series))
+	for step := 0; step < maxLen; step++ {
+		for id, s := range series {
+			i := idx[id]
+			if i >= s.Len() {
+				continue
+			}
+			smp := s.At(i)
+			if smp.T <= time.Duration(step)*beat {
+				if err := m.Observe(id, time.Duration(step)*beat, smp.RSSI); err != nil {
+					t.Fatal(err)
+				}
+				idx[id] = i + 1
+			}
+		}
+	}
+	res, err := m.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []vanet.NodeID{1, 101, 102} {
+		if !res.Suspects[id] {
+			t.Errorf("cluster identity %d not flagged", id)
+		}
+	}
+	confirmed := m.Confirmed()
+	if !confirmed[1] || !confirmed[101] || !confirmed[102] {
+		t.Errorf("confirmed = %v, want the cluster", confirmed)
+	}
+}
+
+func TestMonitorRejectsBackwardsTime(t *testing.T) {
+	m := testMonitor(t, 1, 1)
+	if err := m.Observe(1, time.Second, -70); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(2, 500*time.Millisecond, -70); err == nil {
+		t.Error("backwards observation should error")
+	}
+}
+
+func TestMonitorEvictsSilentIdentities(t *testing.T) {
+	m := testMonitor(t, 1, 1)
+	if err := m.Observe(7, 0, -70); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tracked() != 1 {
+		t.Fatalf("tracked = %d", m.Tracked())
+	}
+	// Keep another identity alive far past the eviction horizon.
+	for ts := time.Duration(0); ts < 2*time.Minute; ts += time.Second {
+		if err := m.Observe(8, ts, -72); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Detect(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tracked() != 1 {
+		t.Errorf("tracked = %d after eviction, want 1 (identity 8)", m.Tracked())
+	}
+}
+
+func TestMonitorConfigValidation(t *testing.T) {
+	if _, err := NewMonitor(MonitorConfig{Detector: Config{MinSamples: -1}}); err == nil {
+		t.Error("bad detector config should error")
+	}
+	if _, err := NewMonitor(MonitorConfig{Detector: DefaultConfig(testBoundary()), MaxRangeM: -5}); err == nil {
+		t.Error("negative range should error")
+	}
+	if _, err := NewMonitor(MonitorConfig{Detector: DefaultConfig(testBoundary()), ConfirmWindow: 2, ConfirmNeed: 5}); err == nil {
+		t.Error("need > window should error")
+	}
+}
+
+func TestMonitorMultiPeriodConfirmation(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	m := testMonitor(t, 3, 2)
+	// One noisy round must not confirm; two must.
+	start := time.Duration(0)
+	feedOrdered := func(offset time.Duration) {
+		series := sybilCluster(rng, 4)
+		maxLen := 0
+		for _, s := range series {
+			if s.Len() > maxLen {
+				maxLen = s.Len()
+			}
+		}
+		idx := make(map[vanet.NodeID]int, len(series))
+		for step := 0; step < maxLen; step++ {
+			for id, s := range series {
+				i := idx[id]
+				if i >= s.Len() {
+					continue
+				}
+				if s.At(i).T <= time.Duration(step)*beat {
+					_ = m.Observe(id, offset+time.Duration(step)*beat, s.At(i).RSSI)
+					idx[id] = i + 1
+				}
+			}
+		}
+	}
+	feedOrdered(start)
+	res1, err := m.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Confirmed()) != 0 {
+		t.Errorf("one round must not confirm with need=2, got %v", m.Confirmed())
+	}
+	feedOrdered(20 * time.Second)
+	res2, err := m.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	confirmed := m.Confirmed()
+	// Identities flagged in both rounds must be confirmed; flagged-once
+	// identities must not be (the rule needs 2 of the last 3 rounds).
+	for id := range res1.Suspects {
+		if res2.Suspects[id] && !confirmed[id] {
+			t.Errorf("identity %d flagged twice but not confirmed", id)
+		}
+		if !res2.Suspects[id] && confirmed[id] {
+			t.Errorf("identity %d flagged once but confirmed", id)
+		}
+	}
+	// No normal identity sneaks in.
+	for id := range confirmed {
+		if id < 100 && id != 1 {
+			t.Errorf("normal identity %d confirmed", id)
+		}
+	}
+	if len(confirmed) == 0 {
+		t.Error("repeat offenders should be confirmed after two rounds")
+	}
+}

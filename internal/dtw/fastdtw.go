@@ -1,0 +1,77 @@
+package dtw
+
+// FastDTW approximates the DTW distance in O(N) time and memory using the
+// multilevel approach of Salvador & Chan ("Toward Accurate Dynamic Time
+// Warping in Linear Time and Space"): coarsen both series by halving,
+// solve recursively, project the low-resolution warp path up, and refine
+// inside a window expanded by the given radius. Radius 1 already recovers
+// the exact distance on the vast majority of RSSI series (the paper cites
+// ~1% accuracy loss); larger radii trade time for accuracy.
+//
+// The returned distance is always >= the exact DTW distance, with equality
+// when the optimal path lies inside the searched window.
+func FastDTW(x, y []float64, radius int, cost CostFunc) (float64, Path, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, nil, ErrEmptySeries
+	}
+	if radius < 0 {
+		radius = 0
+	}
+	if cost == nil {
+		cost = SquaredCost
+	}
+	minSize := radius + 2
+	if len(x) <= minSize || len(y) <= minSize {
+		return DistanceWithPath(x, y, cost)
+	}
+
+	shrunkX := reduceByHalf(x)
+	shrunkY := reduceByHalf(y)
+	_, lowPath, err := FastDTW(shrunkX, shrunkY, radius, cost)
+	if err != nil {
+		return 0, nil, err
+	}
+	w := expandedWindow(lowPath, len(x), len(y), radius)
+	return constrainedDistance(x, y, w, cost, true)
+}
+
+// FastDistance is FastDTW without path reconstruction at the top level.
+// (Recursion below the top level still builds paths, which is inherent to
+// the algorithm; the top-level DP dominates the cost.)
+func FastDistance(x, y []float64, radius int, cost CostFunc) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, ErrEmptySeries
+	}
+	if radius < 0 {
+		radius = 0
+	}
+	if cost == nil {
+		cost = SquaredCost
+	}
+	minSize := radius + 2
+	if len(x) <= minSize || len(y) <= minSize {
+		return Distance(x, y, cost)
+	}
+	shrunkX := reduceByHalf(x)
+	shrunkY := reduceByHalf(y)
+	_, lowPath, err := FastDTW(shrunkX, shrunkY, radius, cost)
+	if err != nil {
+		return 0, err
+	}
+	w := expandedWindow(lowPath, len(x), len(y), radius)
+	d, _, err := constrainedDistance(x, y, w, cost, false)
+	return d, err
+}
+
+// reduceByHalf halves the resolution of a series by averaging adjacent
+// pairs; an odd trailing element is kept as-is.
+func reduceByHalf(x []float64) []float64 {
+	out := make([]float64, 0, (len(x)+1)/2)
+	for i := 0; i+1 < len(x); i += 2 {
+		out = append(out, (x[i]+x[i+1])/2)
+	}
+	if len(x)%2 == 1 {
+		out = append(out, x[len(x)-1])
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package dtw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkFastDistance200(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomSeries(200, rng)
+	y := randomSeries(200, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FastDistance(x, y, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactDistance200(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomSeries(200, rng)
+	y := randomSeries(200, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distance(x, y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package dtw
+
+import (
+	"errors"
+	"math"
+)
+
+// LpDistance is the paper's Equation 2: the classical point-to-point
+// L_p norm between two series of equal length,
+//
+//	D(X, Y) = (sum_i (x_i - y_i)^p)^(1/p).
+//
+// p = 2 is the Euclidean distance. Section IV-B argues against it for
+// RSSI comparison precisely because it "requires two time series having
+// the same length" while packet loss makes VANET series ragged; the
+// distance-measure ablation quantifies that.
+func LpDistance(x, y []float64, p int) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, ErrEmptySeries
+	}
+	if len(x) != len(y) {
+		return 0, ErrLengthMismatch
+	}
+	if p < 1 {
+		return 0, errors.New("dtw: Lp needs p >= 1")
+	}
+	var sum float64
+	for i := range x {
+		d := math.Abs(x[i] - y[i])
+		switch p {
+		case 1:
+			sum += d
+		case 2:
+			sum += d * d
+		default:
+			sum += math.Pow(d, float64(p))
+		}
+	}
+	switch p {
+	case 1:
+		return sum, nil
+	case 2:
+		return math.Sqrt(sum), nil
+	default:
+		return math.Pow(sum, 1/float64(p)), nil
+	}
+}
+
+// ErrLengthMismatch is returned by LpDistance for ragged inputs — the
+// failure mode DTW exists to avoid.
+var ErrLengthMismatch = errors.New("dtw: Lp distance requires equal lengths")
+
+// EuclideanSquared is the pointwise squared-error sum for equal-length
+// series, the comparison baseline in the distance-measure ablation (it
+// shares the squared cost of Equation 3 but allows no warping at all).
+func EuclideanSquared(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, ErrEmptySeries
+	}
+	if len(x) != len(y) {
+		return 0, ErrLengthMismatch
+	}
+	var sum float64
+	for i := range x {
+		d := x[i] - y[i]
+		sum += d * d
+	}
+	return sum, nil
+}

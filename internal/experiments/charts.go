@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"voiceprint/internal/plot"
+)
+
+// Chart builders: the SVG companions of the text tables, written by
+// `cmd/experiments -svg`.
+
+// Chart renders the Figure 10 scatter with the trained boundary line.
+func (r *Fig10Result) Chart() *plot.Chart {
+	var sybil, normal []plot.Point
+	for _, p := range r.Points {
+		pt := plot.Point{X: p.Density, Y: p.Normalized}
+		if p.SybilPair {
+			sybil = append(sybil, pt)
+		} else {
+			normal = append(normal, pt)
+		}
+	}
+	// Boundary endpoints across the density span.
+	minDen, maxDen := 0.0, 0.0
+	for i, p := range r.Points {
+		if i == 0 || p.Density < minDen {
+			minDen = p.Density
+		}
+		if i == 0 || p.Density > maxDen {
+			maxDen = p.Density
+		}
+	}
+	boundary := []plot.Point{
+		{X: minDen, Y: r.Boundary.K*minDen + r.Boundary.B},
+		{X: maxDen, Y: r.Boundary.K*maxDen + r.Boundary.B},
+	}
+	return &plot.Chart{
+		Title:  "Figure 10 — decision boundary on the (density, DTW distance) plane",
+		XLabel: "traffic density (vhls/km)",
+		YLabel: "normalized DTW distance",
+		Series: []plot.Series{
+			{Name: "normal pair", Color: "#1f77b4", Points: normal},
+			{Name: "Sybil pair", Color: "#d62728", Points: sybil},
+			{Name: "boundary", Color: "#2ca02c", Points: boundary, Line: true},
+		},
+	}
+}
+
+// Charts renders the Figure 11 sweep as two charts: detection rate and
+// false positive rate vs density.
+func (r *Fig11Result) Charts() (dr, fpr *plot.Chart) {
+	var vpDR, vpFPR, cpDR, cpFPR []plot.Point
+	for _, row := range r.Rows {
+		vpDR = append(vpDR, plot.Point{X: row.Density, Y: row.VoiceprintDR})
+		vpFPR = append(vpFPR, plot.Point{X: row.Density, Y: row.VoiceprintFPR})
+		cpDR = append(cpDR, plot.Point{X: row.Density, Y: row.CPVSADDR})
+		cpFPR = append(cpFPR, plot.Point{X: row.Density, Y: row.CPVSADFPR})
+	}
+	suffix := "a (fixed parameters)"
+	if r.ModelChange {
+		suffix = "b (parameters switched every 30 s)"
+	}
+	dr = &plot.Chart{
+		Title:  "Figure 11" + suffix + " — detection rate",
+		XLabel: "traffic density (vhls/km)",
+		YLabel: "detection rate",
+		YMin:   0, YMax: 1.05,
+		XMin: r.Rows[0].Density * 0.9, XMax: r.Rows[len(r.Rows)-1].Density * 1.05,
+		Series: []plot.Series{
+			{Name: "Voiceprint", Color: "#d62728", Points: vpDR, Line: true},
+			{Name: "CPVSAD", Color: "#1f77b4", Points: cpDR, Line: true},
+		},
+	}
+	fpr = &plot.Chart{
+		Title:  "Figure 11" + suffix + " — false positive rate",
+		XLabel: "traffic density (vhls/km)",
+		YLabel: "false positive rate",
+		YMin:   0, YMax: 1.05,
+		XMin: r.Rows[0].Density * 0.9, XMax: r.Rows[len(r.Rows)-1].Density * 1.05,
+		Series: []plot.Series{
+			{Name: "Voiceprint", Color: "#d62728", Points: vpFPR, Line: true},
+			{Name: "CPVSAD", Color: "#1f77b4", Points: cpFPR, Line: true},
+		},
+	}
+	return dr, fpr
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"voiceprint/internal/core"
+	"voiceprint/internal/lda"
+)
+
+// Fig11Config parameterizes the Figure 11 comparison sweep: Voiceprint vs
+// CPVSAD across traffic densities, without (11a) and with (11b)
+// propagation-model change.
+type Fig11Config struct {
+	// Densities to sweep; nil means {10, 20, ..., 100}.
+	Densities []float64
+	// SeedsPerDensity; zero means 3.
+	SeedsPerDensity int
+	// Seed is the base seed.
+	Seed int64
+	// Duration per run; zero means 100 s.
+	Duration time.Duration
+	// ModelChange selects Figure 11b.
+	ModelChange bool
+	// Boundary is the trained Voiceprint decision boundary (from Fig10).
+	Boundary lda.Boundary
+	// AbsoluteCap is the trained raw-distance cap (from Fig10); zero
+	// disables.
+	AbsoluteCap float64
+	// MaxObservers caps recording receivers per run.
+	MaxObservers int
+	// WitnessRange bounds CPVSAD witness eligibility; zero means 500 m.
+	WitnessRange float64
+}
+
+// Fig11Row is one density's outcome for both methods.
+type Fig11Row struct {
+	Density                     float64
+	VoiceprintDR, VoiceprintFPR float64
+	CPVSADDR, CPVSADFPR         float64
+}
+
+// Fig11Result is the full sweep.
+type Fig11Result struct {
+	ModelChange bool
+	Rows        []Fig11Row
+}
+
+// Fig11 runs the comparison sweep.
+func Fig11(cfg Fig11Config) (*Fig11Result, error) {
+	if len(cfg.Densities) == 0 {
+		cfg.Densities = []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	}
+	if cfg.SeedsPerDensity == 0 {
+		cfg.SeedsPerDensity = 3
+	}
+	if cfg.WitnessRange == 0 {
+		cfg.WitnessRange = 500
+	}
+	detCfg := core.DefaultConfig(cfg.Boundary)
+	detCfg.AbsoluteRawCap = cfg.AbsoluteCap
+	det, err := core.New(detCfg)
+	if err != nil {
+		return nil, err
+	}
+	verifier, err := NewCPVSAD()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{ModelChange: cfg.ModelChange}
+	seed := cfg.Seed
+	for _, den := range cfg.Densities {
+		var vpDR, vpFPR, cpDR, cpFPR float64
+		var vpN, cpN int
+		for s := 0; s < cfg.SeedsPerDensity; s++ {
+			seed++
+			run, err := RunHighway(SimParams{
+				DensityPerKm: den,
+				Seed:         seed,
+				Duration:     cfg.Duration,
+				ModelChange:  cfg.ModelChange,
+				MaxObservers: cfg.MaxObservers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig11: density %v: %w", den, err)
+			}
+			vpAgg, _, err := VoiceprintRounds(run, det, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig11: voiceprint at density %v: %w", den, err)
+			}
+			if dr, err := vpAgg.MeanDR(); err == nil {
+				fpr, _ := vpAgg.MeanFPR()
+				vpDR += dr
+				vpFPR += fpr
+				vpN++
+			}
+			cpAgg, err := CPVSADRounds(run, verifier, 0, cfg.WitnessRange)
+			if err != nil {
+				return nil, fmt.Errorf("fig11: cpvsad at density %v: %w", den, err)
+			}
+			if dr, err := cpAgg.MeanDR(); err == nil {
+				fpr, _ := cpAgg.MeanFPR()
+				cpDR += dr
+				cpFPR += fpr
+				cpN++
+			}
+		}
+		row := Fig11Row{Density: den}
+		if vpN > 0 {
+			row.VoiceprintDR = vpDR / float64(vpN)
+			row.VoiceprintFPR = vpFPR / float64(vpN)
+		}
+		if cpN > 0 {
+			row.CPVSADDR = cpDR / float64(cpN)
+			row.CPVSADFPR = cpFPR / float64(cpN)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the sweep like the paper's Figure 11 series.
+func (r *Fig11Result) Render() string {
+	label := "Figure 11a — DR/FPR vs density, fixed propagation parameters"
+	if r.ModelChange {
+		label = "Figure 11b — DR/FPR vs density, parameters switched every 30 s"
+	}
+	t := &Table{
+		Title: label,
+		Columns: []string{"density (vhls/km)", "Voiceprint DR", "Voiceprint FPR",
+			"CPVSAD DR", "CPVSAD FPR"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Density, row.VoiceprintDR, row.VoiceprintFPR,
+			row.CPVSADDR, row.CPVSADFPR)
+	}
+	return t.String()
+}

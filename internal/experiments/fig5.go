@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"voiceprint/internal/mobility"
+	"voiceprint/internal/radio"
+	"voiceprint/internal/stats"
+	"voiceprint/internal/vanet"
+)
+
+// Fig5Config parameterizes the Section III Scenario 1 measurements:
+// two vehicles in the campus channel, (a)/(b) stationary at 140 m for two
+// 10-minute periods, (c) moving segments of 1 minute each.
+type Fig5Config struct {
+	Seed int64
+	// StationaryDuration per period; zero means 10 min (6000 samples).
+	StationaryDuration time.Duration
+	// MovingSegments counts the 1-minute moving segments; zero means 4.
+	MovingSegments int
+}
+
+// Fig5Row is one measurement period's summary.
+type Fig5Row struct {
+	Label      string
+	N          int
+	MeanDBm    float64
+	StdDBm     float64
+	NormalityP float64
+	// EstFSPL and EstTRGP are distances inverted from the mean RSSI under
+	// the free-space and two-ray ground models; TrueDist is ground truth.
+	EstFSPL, EstTRGP, TrueDist float64
+}
+
+// Fig5Result reproduces Figure 5 plus Observation 1's distance-estimate
+// errors (paper: 281.5/171.2 m FSPL and 263.9/205.8 m TRGP vs a true
+// 140 m).
+type Fig5Result struct {
+	Rows []Fig5Row
+	// Histograms renders each period's distribution.
+	Histograms []string
+}
+
+// Fig5 runs the Scenario 1 measurements on the simulated campus channel.
+func Fig5(cfg Fig5Config) (*Fig5Result, error) {
+	if cfg.StationaryDuration == 0 {
+		cfg.StationaryDuration = 10 * time.Minute
+	}
+	if cfg.MovingSegments == 0 {
+		cfg.MovingSegments = 4
+	}
+	res := &Fig5Result{}
+
+	const trueDist = 140.0
+	for period := 0; period < 2; period++ {
+		values, err := stationaryRSSI(trueDist, cfg.StationaryDuration, cfg.Seed+int64(period))
+		if err != nil {
+			return nil, err
+		}
+		row, hist, err := summarizePeriod(
+			fmt.Sprintf("stationary period %d", period+1), values, trueDist)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		res.Histograms = append(res.Histograms, hist)
+	}
+
+	for seg := 0; seg < cfg.MovingSegments; seg++ {
+		values, dist, err := movingRSSI(time.Minute, cfg.Seed+100+int64(seg))
+		if err != nil {
+			return nil, err
+		}
+		row, hist, err := summarizePeriod(
+			fmt.Sprintf("moving segment %d", seg+1), values, dist)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		res.Histograms = append(res.Histograms, hist)
+	}
+	return res, nil
+}
+
+// stationaryRSSI records the RSSI log of a receiver 140 m from a
+// stationary sender in the campus channel.
+func stationaryRSSI(dist float64, dur time.Duration, seed int64) ([]float64, error) {
+	tx, err := mobility.Stationary(mobility.Position{X: 0}, dur+time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	rx, err := mobility.Stationary(mobility.Position{X: dist}, dur+time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	nodes := []*vanet.Node{
+		{Mover: tx, Identities: []vanet.Identity{{ID: 1, TxPowerDBm: 20}}},
+		{Mover: rx, Identities: []vanet.Identity{{ID: 2, TxPowerDBm: 20}}},
+	}
+	eng, err := vanet.NewEngine(vanet.Config{
+		Radio:     radio.Static{Model: radio.DualSlope{Params: radio.CampusParams}},
+		Seed:      seed,
+		Observers: []int{1},
+	}, nodes)
+	if err != nil {
+		return nil, err
+	}
+	eng.Run(dur)
+	log := eng.Logs()[1].PerIdentity[1]
+	if log == nil {
+		return nil, fmt.Errorf("fig5: receiver heard nothing at %v m", dist)
+	}
+	values := make([]float64, len(log.Obs))
+	for i, o := range log.Obs {
+		values[i] = o.RSSI
+	}
+	return values, nil
+}
+
+// movingRSSI records one 1-minute segment of a receiver circling the
+// sender at campus speeds (10-15 km/h), returning the mean true distance.
+func movingRSSI(dur time.Duration, seed int64) ([]float64, float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	tx, err := mobility.Stationary(mobility.Position{X: 0}, dur+time.Minute)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Receiver wanders: waypoints every 5 s at 3-4 m/s, distances 60-250 m.
+	var wps []mobility.Waypoint
+	x, y := 100.0, 50.0
+	for t := time.Duration(0); t <= dur+time.Minute; t += 5 * time.Second {
+		wps = append(wps, mobility.Waypoint{T: t, Pos: mobility.Position{X: x, Y: y}})
+		speed := 3 + rng.Float64()
+		angle := rng.Float64() * 2 * math.Pi
+		x += speed * 5 * math.Cos(angle)
+		y += speed * 5 * math.Sin(angle)
+		// Keep within a campus-sized annulus around the sender.
+		d := x*x + y*y
+		if d > 250*250 {
+			x *= 0.8
+			y *= 0.8
+		}
+		if d < 60*60 {
+			x *= 1.3
+			y *= 1.3
+		}
+	}
+	rx, err := mobility.NewScripted(wps)
+	if err != nil {
+		return nil, 0, err
+	}
+	nodes := []*vanet.Node{
+		{Mover: tx, Identities: []vanet.Identity{{ID: 1, TxPowerDBm: 20}}},
+		{Mover: rx, Identities: []vanet.Identity{{ID: 2, TxPowerDBm: 20}}},
+	}
+	eng, err := vanet.NewEngine(vanet.Config{
+		Radio:     radio.Static{Model: radio.DualSlope{Params: radio.CampusParams}},
+		Seed:      seed + 1,
+		Observers: []int{1},
+	}, nodes)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng.Run(dur)
+	log := eng.Logs()[1].PerIdentity[1]
+	if log == nil {
+		return nil, 0, fmt.Errorf("fig5: moving receiver heard nothing")
+	}
+	values := make([]float64, len(log.Obs))
+	var distSum float64
+	for i, o := range log.Obs {
+		values[i] = o.RSSI
+		distSum += o.TrueDist
+	}
+	return values, distSum / float64(len(values)), nil
+}
+
+func summarizePeriod(label string, values []float64, trueDist float64) (Fig5Row, string, error) {
+	summary, err := stats.Summarize(values)
+	if err != nil {
+		return Fig5Row{}, "", err
+	}
+	normality, err := stats.ChiSquareNormality(values, 10, 0.05)
+	if err != nil {
+		return Fig5Row{}, "", err
+	}
+	// Observation 1's estimate: invert the mean RSSI through a predefined
+	// model, PL = Pt - mean(RSSI) (unity gains).
+	pl := 20 - summary.Mean
+	estFSPL, err := radio.EstimateDistance(radio.FreeSpace{}, pl, 1, 100000)
+	if err != nil {
+		estFSPL = -1 // out of model range; reported as such
+	}
+	estTRGP, err := radio.EstimateDistance(radio.TwoRayGround{}, pl, 1, 100000)
+	if err != nil {
+		estTRGP = -1
+	}
+	hist, err := stats.NewHistogram(values, 20)
+	if err != nil {
+		return Fig5Row{}, "", err
+	}
+	row := Fig5Row{
+		Label:      label,
+		N:          summary.N,
+		MeanDBm:    summary.Mean,
+		StdDBm:     summary.StdDev,
+		NormalityP: normality.PValue,
+		EstFSPL:    estFSPL,
+		EstTRGP:    estTRGP,
+		TrueDist:   trueDist,
+	}
+	return row, fmt.Sprintf("%s\n%s", label, hist.Render(40)), nil
+}
+
+// Render formats the Figure 5 table.
+func (r *Fig5Result) Render() string {
+	t := &Table{
+		Title: "Figure 5 / Observation 1 — RSSI distributions and model-based distance estimates",
+		Columns: []string{"period", "n", "mean dBm", "std dB", "normality p",
+			"est FSPL m", "est TRGP m", "true m"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Label, row.N, row.MeanDBm, row.StdDBm, row.NormalityP,
+			row.EstFSPL, row.EstTRGP, row.TrueDist)
+	}
+	return t.String()
+}

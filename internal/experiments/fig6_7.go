@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"voiceprint/internal/core"
+	"voiceprint/internal/lda"
+	"voiceprint/internal/trace"
+	"voiceprint/internal/vanet"
+)
+
+// Fig6And7Config parameterizes the Section III Scenario 3 reconstruction:
+// the four-vehicle convoy (one attacker with two Sybil identities) whose
+// RSSI series, recorded by the leading and trailing normal nodes,
+// motivate Observation 3.
+type Fig6And7Config struct {
+	Seed int64
+	// Duration; zero means 3 minutes.
+	Duration time.Duration
+}
+
+// SeriesSummary describes one recorded series.
+type SeriesSummary struct {
+	Sender  vanet.NodeID
+	N       int
+	MeanDBm float64
+	StdDBm  float64
+}
+
+// PairRow is one pairwise similarity (per-sample DTW distance after
+// Z-score normalization) with its ground-truth label.
+type PairRow struct {
+	A, B      vanet.NodeID
+	Distance  float64
+	SybilPair bool
+}
+
+// ReceiverView is what one normal node recorded (Figure 6 is the leading
+// node's view, Figure 7 the trailing node's).
+type ReceiverView struct {
+	Receiver vanet.NodeID
+	Series   []SeriesSummary
+	Pairs    []PairRow
+}
+
+// Fig6And7Result holds both receivers' views.
+type Fig6And7Result struct {
+	Views []ReceiverView
+}
+
+// Fig6And7 reconstructs Scenario 3 in the campus channel and verifies
+// Observation 3: the Sybil-cluster series are mutually closest.
+func Fig6And7(cfg Fig6And7Config) (*Fig6And7Result, error) {
+	dur := cfg.Duration
+	if dur == 0 {
+		dur = 3 * time.Minute
+	}
+	area := trace.CampusArea()
+	area.Duration = dur + time.Minute
+	eng, err := trace.NewFieldTestEngine(area, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng.Run(dur)
+	truth := eng.Truth()
+
+	// The comparison uses the detector's own pipeline with a disabled
+	// boundary (only distances are wanted).
+	detCfg := core.DefaultConfig(lda.Boundary{K: 0, B: -1})
+	detCfg.MinMedianRSSIDBm = 0 // node 3 hears near-floor series on purpose
+	det, err := core.New(detCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig6And7Result{}
+	// Node index 3 = leading node 4 (the paper's "normal node 1" view,
+	// Figure 6); node index 2 = trailing node 3 (Figure 7).
+	for _, obsIdx := range []int{3, 2} {
+		log := eng.Logs()[obsIdx]
+		if log == nil {
+			return nil, fmt.Errorf("fig6_7: observer %d has no log", obsIdx)
+		}
+		view := ReceiverView{Receiver: log.Receiver}
+		ids := make([]vanet.NodeID, 0, len(log.PerIdentity))
+		for id := range log.PerIdentity {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			s := log.PerIdentity[id].Series(0, dur)
+			view.Series = append(view.Series, SeriesSummary{
+				Sender:  id,
+				N:       s.Len(),
+				MeanDBm: s.Mean(),
+				StdDBm:  s.StdDev(),
+			})
+		}
+		round, err := detectWindow(det, log, 0, dur, 4)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range round.Pairs {
+			view.Pairs = append(view.Pairs, PairRow{
+				A: p.A, B: p.B,
+				Distance:  p.Raw,
+				SybilPair: truth.SybilPair(p.A, p.B),
+			})
+		}
+		sort.Slice(view.Pairs, func(i, j int) bool {
+			return view.Pairs[i].Distance < view.Pairs[j].Distance
+		})
+		res.Views = append(res.Views, view)
+	}
+	return res, nil
+}
+
+// Render formats both views.
+func (r *Fig6And7Result) Render() string {
+	out := ""
+	labels := []string{"Figure 6 — recorded by the leading normal node",
+		"Figure 7 — recorded by the trailing normal node"}
+	for i, view := range r.Views {
+		label := fmt.Sprintf("receiver %d", view.Receiver)
+		if i < len(labels) {
+			label = labels[i]
+		}
+		t := &Table{
+			Title:   label + " (series)",
+			Columns: []string{"sender", "n", "mean dBm", "std dB"},
+		}
+		for _, s := range view.Series {
+			t.AddRow(s.Sender, s.N, s.MeanDBm, s.StdDBm)
+		}
+		p := &Table{
+			Title:   label + " (pairwise per-sample DTW distances, ascending)",
+			Columns: []string{"pair", "distance", "sybil pair"},
+		}
+		for _, pr := range view.Pairs {
+			p.AddRow(fmt.Sprintf("(%d,%d)", pr.A, pr.B), pr.Distance, pr.SybilPair)
+		}
+		out += t.String() + "\n" + p.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+	"voiceprint/internal/channel"
+
+	"voiceprint/internal/baseline"
+	"voiceprint/internal/core"
+	"voiceprint/internal/lda"
+	"voiceprint/internal/metrics"
+	"voiceprint/internal/radio"
+	"voiceprint/internal/timeseries"
+	"voiceprint/internal/vanet"
+)
+
+// SimParams configure one highway simulation run (Section V, Table V).
+type SimParams struct {
+	// DensityPerKm is the vehicle density (10-100 in the paper's sweep).
+	DensityPerKm float64
+	// Seed drives every random choice of the run.
+	Seed int64
+	// Duration of the run; zero means 100 s (Table V).
+	Duration time.Duration
+	// ModelChange enables the Figure 11b channel: the dual-slope
+	// parameters switch every 30 s (Table V "model change period").
+	ModelChange bool
+	// MaxObservers caps the recording receivers; zero derives a density-
+	// proportional sample (see DESIGN.md substitution).
+	MaxObservers int
+	// BeaconRateHz overrides the CCH 10 Hz beacon rate; zero means 10.
+	// The paper's Section VII proposes moving samples to the Service
+	// Channel to beacon faster and shrink the observation time.
+	BeaconRateHz float64
+}
+
+// baseSimModel is the Figure 11a channel: the Cheng et al. dual-slope
+// highway model with both sigmas forced to 3.9 dB, matching Section V-C
+// ("the standard deviation sigma1 and sigma2 are both set to be 3.9 dB").
+func baseSimModel() radio.DualSlope {
+	p := radio.HighwayParams
+	p.Sigma1 = 3.9
+	p.Sigma2 = 3.9
+	return radio.DualSlope{Params: p}
+}
+
+// switchedSimModels is the Figure 11b channel set: parameters drift to a
+// different environment every period.
+func switchedSimModels() []radio.Model {
+	mk := func(p radio.DualSlopeParams) radio.Model {
+		p.Sigma1 = 3.9
+		p.Sigma2 = 3.9
+		return radio.DualSlope{Params: p}
+	}
+	return []radio.Model{
+		mk(radio.HighwayParams),
+		mk(radio.UrbanParams),
+		mk(radio.CampusParams),
+		mk(radio.RuralParams),
+	}
+}
+
+// SimRun is a completed highway simulation with everything detection
+// needs.
+type SimRun struct {
+	Engine   *vanet.Engine
+	Truth    vanet.Truth
+	Params   SimParams
+	Duration time.Duration
+}
+
+// RunHighway builds and runs one Table V highway simulation.
+func RunHighway(p SimParams) (*SimRun, error) {
+	return runHighwayWith(p, nil)
+}
+
+// runHighwayWith is RunHighway with an optional hook that mutates the
+// node population (e.g. arming attackers) before the engine starts.
+func runHighwayWith(p SimParams, arm func([]*vanet.Node)) (*SimRun, error) {
+	if p.Duration == 0 {
+		p.Duration = 100 * time.Second
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	scenario := vanet.DefaultScenario(p.DensityPerKm)
+	// Physical radios transmit at the DSRC default; only Sybil identities
+	// spoof their power. This keeps the CPVSAD comparison meaningful (it
+	// assumes a known TX power), matching the paper's Figure 11 setup; the
+	// heterogeneous-power ablation exercises Assumption 3 separately.
+	scenario.TxPowerMinDBm = 20
+	scenario.TxPowerMaxDBm = 20
+	nodes, err := vanet.BuildHighwayNodes(scenario, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Re-randomize Sybil identity powers to the paper's 17-23 dBm band.
+	for _, n := range nodes {
+		if !n.Malicious {
+			continue
+		}
+		for i := 1; i < len(n.Identities); i++ {
+			n.Identities[i].TxPowerDBm = 17 + 6*rng.Float64()
+		}
+	}
+	maxObs := p.MaxObservers
+	if maxObs == 0 {
+		// Density-proportional receiver sample: enough for averaging and
+		// for CPVSAD witness scaling, bounded for memory and runtime.
+		maxObs = 4 + int(p.DensityPerKm/3)
+		if maxObs > 20 {
+			maxObs = 20
+		}
+	}
+	observers := vanet.SampleObservers(nodes, maxObs, rng)
+	if arm != nil {
+		arm(nodes)
+	}
+
+	var ch radio.Channel
+	if p.ModelChange {
+		sw, err := radio.NewSwitcher(30*time.Second, switchedSimModels()...)
+		if err != nil {
+			return nil, err
+		}
+		ch = sw
+	} else {
+		ch = radio.Static{Model: baseSimModel()}
+	}
+	// The paper's NS-2 radio reaches most of the 2 km highway (free-space-
+	// derived ranges at 20 dBm exceed 800 m), so essentially every receiver
+	// has the attacker population in view; match that here. The min-max
+	// normalization of Equation 8 relies on it: the pair distance scale is
+	// anchored by genuinely dissimilar far pairs.
+	chParams := channel.DefaultParams()
+	chParams.MaxReceptionRange = 1000
+	chParams.CarrierSenseRange = 1000
+	step := time.Duration(0) // engine default: 100 ms (10 Hz)
+	if p.BeaconRateHz > 0 {
+		chParams.BeaconRateHz = p.BeaconRateHz
+		step = time.Duration(float64(time.Second) / p.BeaconRateHz)
+	}
+	eng, err := vanet.NewEngine(vanet.Config{
+		Radio:     ch,
+		Channel:   chParams,
+		Seed:      p.Seed + 1,
+		Step:      step,
+		Observers: observers,
+	}, nodes)
+	if err != nil {
+		return nil, err
+	}
+	eng.Run(p.Duration)
+	return &SimRun{Engine: eng, Truth: eng.Truth(), Params: p, Duration: p.Duration}, nil
+}
+
+// MaxRangeM is Dist_max in Equation 9: the assumed maximum transmission
+// range for density estimation (the paper's Section VI-B example uses
+// 500 m; we match the channel's MaxReceptionRange).
+const MaxRangeM = 1000
+
+// PairSample is one labelled pairwise comparison from a detection round:
+// the Figure 10 training harvest carries both the Equation 8 normalized
+// distance and the raw per-sample distance (used to train the absolute
+// cap).
+type PairSample struct {
+	Density    float64
+	Normalized float64
+	Raw        float64
+	SybilPair  bool
+}
+
+// NormalizedPoints projects samples onto the (density, normalized
+// distance) plane for boundary training.
+func NormalizedPoints(samples []PairSample) []lda.Point {
+	out := make([]lda.Point, len(samples))
+	for i, s := range samples {
+		out[i] = lda.Point{Density: s.Density, Distance: s.Normalized, SybilPair: s.SybilPair}
+	}
+	return out
+}
+
+// RawPoints projects samples onto the (density, raw distance) plane for
+// absolute-cap training.
+func RawPoints(samples []PairSample) []lda.Point {
+	out := make([]lda.Point, len(samples))
+	for i, s := range samples {
+		out[i] = lda.Point{Density: s.Density, Distance: s.Raw, SybilPair: s.SybilPair}
+	}
+	return out
+}
+
+// VoiceprintRounds runs the Voiceprint detector over every observer and
+// detection period of a run and aggregates Equations 12-13. It also
+// returns all pairwise comparisons labelled with ground truth (the
+// Figure 10 training harvest).
+func VoiceprintRounds(run *SimRun, det *core.Detector, period time.Duration) (*metrics.Aggregator, []PairSample, error) {
+	if period == 0 {
+		period = 20 * time.Second
+	}
+	agg := &metrics.Aggregator{}
+	var points []PairSample
+	for _, oIdx := range sortedLogKeys(run.Engine.Logs()) {
+		log := run.Engine.Logs()[oIdx]
+		est, err := core.NewDensityEstimator(MaxRangeM)
+		if err != nil {
+			return nil, nil, err
+		}
+		for from := time.Duration(0); from+period <= run.Duration; from += period {
+			to := from + period
+			heard := log.HeardIDs(from, to)
+			if len(heard) == 0 {
+				continue
+			}
+			density := est.Estimate(heard)
+			res, err := detectWindow(det, log, from, to, density)
+			if err != nil {
+				return nil, nil, err
+			}
+			est.Record(res.Suspects)
+			// Score over the identities the detector actually tracked
+			// (enough samples to compare); fringe identities with a
+			// handful of beacons are nobody's responsibility this round.
+			counts, err := metrics.Score(res.Considered, res.Suspects, run.Truth)
+			if err != nil {
+				return nil, nil, err
+			}
+			agg.Add(counts)
+			for _, pair := range res.Pairs {
+				points = append(points, PairSample{
+					Density:    density,
+					Normalized: pair.Normalized,
+					Raw:        pair.Raw,
+					SybilPair:  run.Truth.SybilPair(pair.A, pair.B),
+				})
+			}
+		}
+	}
+	return agg, points, nil
+}
+
+// detectWindow slices one observer's log into series and runs a round.
+func detectWindow(det *core.Detector, log *vanet.ReceptionLog, from, to time.Duration, density float64) (*core.Result, error) {
+	series := make(map[vanet.NodeID]*timeseries.Series, len(log.PerIdentity))
+	for id, l := range log.PerIdentity {
+		s := l.Series(from, to)
+		if s.Len() > 0 {
+			series[id] = s
+		}
+	}
+	return det.Detect(series, density)
+}
+
+// CPVSADRounds runs the CPVSAD baseline over every observer and period:
+// each observer acts as verifier, pooling witness reports from the other
+// observers within witnessRange, and aggregates Equations 12-13.
+func CPVSADRounds(run *SimRun, verifier *baseline.Detector, period time.Duration, witnessRange float64) (*metrics.Aggregator, error) {
+	if period == 0 {
+		period = 10 * time.Second // the paper gives CPVSAD 10 s windows
+	}
+	agg := &metrics.Aggregator{}
+	logs := run.Engine.Logs()
+	idxs := sortedLogKeys(logs)
+	nodes := run.Engine.Nodes()
+	for _, vIdx := range idxs {
+		vLog := logs[vIdx]
+		for from := time.Duration(0); from+period <= run.Duration; from += period {
+			to := from + period
+			heard := vLog.HeardIDs(from, to)
+			if len(heard) == 0 {
+				continue
+			}
+			own := reportsFromLog(verifier, vLog, from, to)
+			var wit []map[vanet.NodeID]*baseline.WitnessReport
+			for _, wIdx := range idxs {
+				if wIdx == vIdx {
+					continue
+				}
+				if distanceBetween(nodes[vIdx], nodes[wIdx]) <= witnessRange {
+					wit = append(wit, reportsFromLog(verifier, logs[wIdx], from, to))
+				}
+			}
+			res, err := verifier.Detect(own, wit)
+			if err != nil {
+				return nil, err
+			}
+			// The verifier can only sentence identities it heard itself.
+			heardSet := make(map[vanet.NodeID]bool, len(heard))
+			for _, id := range heard {
+				heardSet[id] = true
+			}
+			suspects := make(map[vanet.NodeID]bool)
+			for id := range res.Suspects {
+				if heardSet[id] {
+					suspects[id] = true
+				}
+			}
+			counts, err := metrics.Score(heard, suspects, run.Truth)
+			if err != nil {
+				return nil, err
+			}
+			agg.Add(counts)
+		}
+	}
+	return agg, nil
+}
+
+// reportsFromLog builds per-identity witness reports from a log window,
+// thinning beacons to ~1 Hz: consecutive RSSI samples share the slowly
+// varying shadowing term, and the z-test needs approximately independent
+// deviations.
+func reportsFromLog(verifier *baseline.Detector, log *vanet.ReceptionLog, from, to time.Duration) map[vanet.NodeID]*baseline.WitnessReport {
+	out := make(map[vanet.NodeID]*baseline.WitnessReport, len(log.PerIdentity))
+	for id, l := range log.PerIdentity {
+		window := l.Window(from, to)
+		if len(window) == 0 {
+			continue
+		}
+		var thinned []vanet.Obs
+		last := time.Duration(-time.Hour)
+		for _, o := range window {
+			if o.T-last >= time.Second {
+				thinned = append(thinned, o)
+				last = o.T
+			}
+		}
+		out[id] = verifier.ReportFromLog(thinned)
+	}
+	return out
+}
+
+// distanceBetween measures current physical distance between two nodes.
+func distanceBetween(a, b *vanet.Node) float64 {
+	pa := a.Mover.Position()
+	pb := b.Mover.Position()
+	dx := pa.X - pb.X
+	dy := pa.Y - pb.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// NewCPVSAD builds the baseline verifier for the Figure 11 comparison:
+// it assumes the *initial* simulation channel with sigma 3.9 dB — correct
+// in Figure 11a, stale under the Figure 11b parameter drift.
+func NewCPVSAD() (*baseline.Detector, error) {
+	return baseline.New(baseline.Config{
+		Model:           baseSimModel(),
+		SigmaDB:         3.9,
+		Alpha:           0.05,
+		ObservationTime: 10 * time.Second,
+	})
+}
+
+func sortedLogKeys(logs map[int]*vanet.ReceptionLog) []int {
+	idxs := make([]int, 0, len(logs))
+	for idx := range logs {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs
+}

@@ -1,0 +1,25 @@
+package experiments
+
+// Table1 reproduces the paper's Table I, the qualitative comparison of
+// RSSI-based Sybil detection methods. It is documentation-as-code: the
+// repo implements the bottom row (Voiceprint) in internal/core and the
+// Yu/Xiao row's mechanism as the CPVSAD baseline in internal/baseline;
+// the radio propagation models named in column RPM are all implemented in
+// internal/radio.
+func Table1() *Table {
+	t := &Table{
+		Title: "Table I — comparisons of RSSI-based detection methods " +
+			"(RPM: radio propagation model; C/D: centralized/decentralized; " +
+			"C/I: cooperative/independent; SoI: support of infrastructure)",
+		Columns: []string{"method", "RPM", "C/D", "C/I", "SoI", "mobility"},
+	}
+	t.AddRow("Demirbas [14]", "free space", "D", "C", "no", "static")
+	t.AddRow("Wang [15]", "Rayleigh fading", "D", "C", "no", "static")
+	t.AddRow("Lv [16]", "two-ray ground", "D", "C", "no", "static")
+	t.AddRow("Bouassida [17]", "Friis free space", "D", "I", "no", "low mobility")
+	t.AddRow("Chen [18]", "shadowing", "C", "-", "yes", "static")
+	t.AddRow("Xiao [20]", "shadowing", "D", "C", "yes", "high mobility")
+	t.AddRow("Yu [19]", "shadowing", "D", "C", "yes", "high mobility")
+	t.AddRow("Voiceprint", "model-free", "D", "I", "no", "high mobility")
+	return t
+}

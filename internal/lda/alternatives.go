@@ -1,0 +1,177 @@
+package lda
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper (Section IV-C) notes the threshold could equally be trained
+// with "perceptrons algorithm, linear classifier, logistic regression and
+// support vector machines". These trainers implement that ablation; all
+// produce the same Boundary form.
+
+// standardizer rescales features to zero mean / unit variance for the
+// iterative trainers, then maps the learned rule back to raw coordinates.
+type standardizer struct {
+	mx, my, sx, sy float64
+}
+
+func fitStandardizer(points []Point) standardizer {
+	var s standardizer
+	n := float64(len(points))
+	for _, p := range points {
+		s.mx += p.Density
+		s.my += p.Distance
+	}
+	s.mx /= n
+	s.my /= n
+	for _, p := range points {
+		s.sx += (p.Density - s.mx) * (p.Density - s.mx)
+		s.sy += (p.Distance - s.my) * (p.Distance - s.my)
+	}
+	s.sx = math.Sqrt(s.sx / n)
+	s.sy = math.Sqrt(s.sy / n)
+	if s.sx == 0 {
+		s.sx = 1
+	}
+	if s.sy == 0 {
+		s.sy = 1
+	}
+	return s
+}
+
+func (s standardizer) apply(p Point) (x, y float64) {
+	return (p.Density - s.mx) / s.sx, (p.Distance - s.my) / s.sy
+}
+
+// unstandardize converts a rule a1*x' + a2*y' <= c' (standardized coords,
+// Sybil side) back to raw coordinates.
+func (s standardizer) unstandardize(a1, a2, c float64) linear {
+	// x' = (x-mx)/sx, y' = (y-my)/sy.
+	w1 := a1 / s.sx
+	w2 := a2 / s.sy
+	cRaw := c + a1*s.mx/s.sx + a2*s.my/s.sy
+	return linear{w1: w1, w2: w2, c: cRaw}
+}
+
+// TrainLogistic fits logistic regression by batch gradient descent.
+// Labels: Sybil pair = 1. The boundary is the 0.5-probability contour.
+func TrainLogistic(points []Point, iterations int, learningRate float64) (Boundary, error) {
+	if _, _, err := split(points); err != nil {
+		return Boundary{}, err
+	}
+	if iterations <= 0 || learningRate <= 0 {
+		return Boundary{}, fmt.Errorf("%w: need positive iterations and rate", ErrDegenerate)
+	}
+	s := fitStandardizer(points)
+	var a1, a2, a0 float64 // P(sybil) = sigmoid(a1 x + a2 y + a0)
+	n := float64(len(points))
+	for it := 0; it < iterations; it++ {
+		var g1, g2, g0 float64
+		for _, p := range points {
+			x, y := s.apply(p)
+			z := a1*x + a2*y + a0
+			pr := 1 / (1 + math.Exp(-z))
+			target := 0.0
+			if p.SybilPair {
+				target = 1
+			}
+			e := pr - target
+			g1 += e * x
+			g2 += e * y
+			g0 += e
+		}
+		a1 -= learningRate * g1 / n
+		a2 -= learningRate * g2 / n
+		a0 -= learningRate * g0 / n
+	}
+	// Sybil side: a1 x + a2 y + a0 >= 0  <=>  (-a1) x + (-a2) y <= a0.
+	return s.unstandardize(-a1, -a2, a0).toBoundary()
+}
+
+// TrainPerceptron fits a pocket perceptron: the best weight vector seen
+// over the iterations (by training accuracy) is kept.
+func TrainPerceptron(points []Point, iterations int) (Boundary, error) {
+	if _, _, err := split(points); err != nil {
+		return Boundary{}, err
+	}
+	if iterations <= 0 {
+		return Boundary{}, fmt.Errorf("%w: need positive iterations", ErrDegenerate)
+	}
+	s := fitStandardizer(points)
+	var a1, a2, a0 float64 // Sybil side: a1 x + a2 y + a0 >= 0
+	label := func(p Point) float64 {
+		if p.SybilPair {
+			return 1
+		}
+		return -1
+	}
+	errors := func(w1, w2, w0 float64) int {
+		bad := 0
+		for _, p := range points {
+			x, y := s.apply(p)
+			if label(p)*(w1*x+w2*y+w0) <= 0 {
+				bad++
+			}
+		}
+		return bad
+	}
+	bestErr := errors(a1, a2, a0)
+	b1, b2, b0 := a1, a2, a0
+	for it := 0; it < iterations; it++ {
+		updated := false
+		for _, p := range points {
+			x, y := s.apply(p)
+			if l := label(p); l*(a1*x+a2*y+a0) <= 0 {
+				a1 += l * x
+				a2 += l * y
+				a0 += l
+				updated = true
+				if e := errors(a1, a2, a0); e < bestErr {
+					bestErr, b1, b2, b0 = e, a1, a2, a0
+				}
+			}
+		}
+		if !updated {
+			b1, b2, b0 = a1, a2, a0
+			break
+		}
+	}
+	return s.unstandardize(-b1, -b2, b0).toBoundary()
+}
+
+// TrainLinearSVM fits a soft-margin linear SVM with the Pegasos
+// sub-gradient method (deterministic full-batch variant).
+func TrainLinearSVM(points []Point, iterations int, lambda float64) (Boundary, error) {
+	if _, _, err := split(points); err != nil {
+		return Boundary{}, err
+	}
+	if iterations <= 0 || lambda <= 0 {
+		return Boundary{}, fmt.Errorf("%w: need positive iterations and lambda", ErrDegenerate)
+	}
+	s := fitStandardizer(points)
+	var a1, a2, a0 float64
+	label := func(p Point) float64 {
+		if p.SybilPair {
+			return 1
+		}
+		return -1
+	}
+	n := float64(len(points))
+	for it := 1; it <= iterations; it++ {
+		eta := 1 / (lambda * float64(it))
+		var g1, g2, g0 float64
+		for _, p := range points {
+			x, y := s.apply(p)
+			if l := label(p); l*(a1*x+a2*y+a0) < 1 {
+				g1 -= l * x
+				g2 -= l * y
+				g0 -= l
+			}
+		}
+		a1 -= eta * (lambda*a1 + g1/n)
+		a2 -= eta * (lambda*a2 + g2/n)
+		a0 -= eta * g0 / n
+	}
+	return s.unstandardize(-a1, -a2, a0).toBoundary()
+}

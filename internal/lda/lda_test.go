@@ -1,0 +1,254 @@
+package lda
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paperShaped generates training data with the geometry of Figure 10:
+// Sybil-pair distances cluster near 0 and grow slightly with density;
+// non-Sybil distances are spread well above, with mild overlap at high
+// density.
+func paperShaped(n int, rng *rand.Rand) []Point {
+	pts := make([]Point, 0, 2*n)
+	for i := 0; i < n; i++ {
+		den := 10 + rng.Float64()*90
+		sybilD := 0.01 + 0.0004*den + 0.015*math.Abs(rng.NormFloat64())
+		normalD := 0.25 + 0.5*rng.Float64() - 0.001*den + 0.05*rng.NormFloat64()
+		if normalD < 0.05 {
+			normalD = 0.05
+		}
+		pts = append(pts,
+			Point{Density: den, Distance: sybilD, SybilPair: true},
+			Point{Density: den, Distance: normalD, SybilPair: false},
+		)
+	}
+	return pts
+}
+
+func TestBoundaryRule(t *testing.T) {
+	b := Boundary{K: 0.0005, B: 0.05}
+	if !b.IsSybilPair(100, 0.1) { // 0.1 <= 0.05+0.05
+		t.Error("on-the-line pair should be flagged")
+	}
+	if b.IsSybilPair(10, 0.2) {
+		t.Error("far-above pair should not be flagged")
+	}
+	if got := Constant(0.05046); got.K != 0 || got.B != 0.05046 {
+		t.Errorf("Constant = %+v", got)
+	}
+}
+
+func TestBoundaryString(t *testing.T) {
+	s := Boundary{K: 0.00054, B: 0.0483}.String()
+	if s != "D <= 0.00054*den + 0.04830" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTrainSeparatesPaperShapedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	train := paperShaped(500, rng)
+	test := paperShaped(500, rng)
+	b, err := Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(b, test); acc < 0.97 {
+		t.Errorf("LDA accuracy = %.3f, want >= 0.97 (boundary %v)", acc, b)
+	}
+	// The boundary must sit between the clusters: positive intercept well
+	// below the normal cluster.
+	if b.B < 0 || b.B > 0.3 {
+		t.Errorf("intercept %.4f outside plausible band", b.B)
+	}
+}
+
+func TestTrainRequiresBothClasses(t *testing.T) {
+	only := []Point{{Density: 10, Distance: 0.1, SybilPair: true}}
+	if _, err := Train(only); err == nil {
+		t.Error("single-class training should error")
+	}
+	if _, err := Train(nil); err == nil {
+		t.Error("empty training should error")
+	}
+}
+
+func TestTrainSingleDensityDoesNotBlowUp(t *testing.T) {
+	// All training points at one density: covariance in x is ~0, needs the
+	// regularizer. The boundary should still separate by distance.
+	var pts []Point
+	rng := rand.New(rand.NewSource(102))
+	for i := 0; i < 200; i++ {
+		pts = append(pts,
+			Point{Density: 4, Distance: 0.02 + 0.01*rng.Float64(), SybilPair: true},
+			Point{Density: 4, Distance: 0.3 + 0.3*rng.Float64(), SybilPair: false},
+		)
+	}
+	b, err := Train(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(b, pts); acc < 0.99 {
+		t.Errorf("accuracy = %.3f on trivially separable data", acc)
+	}
+}
+
+func TestAllTrainersAgreeOnSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	train := paperShaped(400, rng)
+	test := paperShaped(400, rng)
+	type trainer struct {
+		name string
+		fn   func([]Point) (Boundary, error)
+	}
+	trainers := []trainer{
+		{"lda", Train},
+		{"logistic", func(p []Point) (Boundary, error) { return TrainLogistic(p, 2000, 0.5) }},
+		{"perceptron", func(p []Point) (Boundary, error) { return TrainPerceptron(p, 200) }},
+		{"svm", func(p []Point) (Boundary, error) { return TrainLinearSVM(p, 2000, 0.01) }},
+	}
+	for _, tr := range trainers {
+		t.Run(tr.name, func(t *testing.T) {
+			b, err := tr.fn(train)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc := Accuracy(b, test); acc < 0.95 {
+				t.Errorf("%s accuracy = %.3f, want >= 0.95 (boundary %v)", tr.name, acc, b)
+			}
+		})
+	}
+}
+
+func TestAlternativeTrainersValidation(t *testing.T) {
+	pts := paperShaped(50, rand.New(rand.NewSource(104)))
+	if _, err := TrainLogistic(pts, 0, 0.1); err == nil {
+		t.Error("zero iterations should error")
+	}
+	if _, err := TrainLogistic(pts, 100, 0); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := TrainPerceptron(pts, 0); err == nil {
+		t.Error("zero iterations should error")
+	}
+	if _, err := TrainLinearSVM(pts, 100, 0); err == nil {
+		t.Error("zero lambda should error")
+	}
+	single := []Point{{Density: 1, Distance: 1, SybilPair: false}}
+	if _, err := TrainLogistic(single, 10, 0.1); err == nil {
+		t.Error("single-class logistic should error")
+	}
+	if _, err := TrainPerceptron(single, 10); err == nil {
+		t.Error("single-class perceptron should error")
+	}
+	if _, err := TrainLinearSVM(single, 10, 0.1); err == nil {
+		t.Error("single-class SVM should error")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if Accuracy(Boundary{}, nil) != 0 {
+		t.Error("accuracy on empty set should be 0")
+	}
+}
+
+func TestLinearToBoundaryOrientation(t *testing.T) {
+	// w2 < 0 must be flipped so the rule keeps the "distance below line"
+	// form.
+	l := linear{w1: 1, w2: -2, c: -3}
+	b, err := l.toBoundary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original rule: x - 2y <= -3  <=>  y >= (x+3)/2... after flip:
+	// -x + 2y <= 3 <=> y <= (3 + x)/2 -> K = 0.5, B = 1.5.
+	if math.Abs(b.K-0.5) > 1e-12 || math.Abs(b.B-1.5) > 1e-12 {
+		t.Errorf("boundary = %+v, want K=0.5 B=1.5", b)
+	}
+	if _, err := (linear{w1: 1, w2: 0, c: 0}).toBoundary(); err == nil {
+		t.Error("vertical boundary should error")
+	}
+}
+
+func TestTrainLineSeparatesPaperShapedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	train := paperShaped(500, rng)
+	test := paperShaped(500, rng)
+	b, err := TrainLine(train, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(b, test); acc < 0.95 {
+		t.Errorf("TrainLine accuracy = %.3f, want >= 0.95 (boundary %v)", acc, b)
+	}
+	// The fitted line must stay positive across the training densities.
+	for _, den := range []float64{10, 50, 100} {
+		if b.K*den+b.B <= 0 {
+			t.Errorf("boundary non-positive at density %v", den)
+		}
+	}
+}
+
+func TestTrainLineValidation(t *testing.T) {
+	pts := paperShaped(50, rand.New(rand.NewSource(106)))
+	if _, err := TrainLine(pts, 0); err == nil {
+		t.Error("zero buckets should error")
+	}
+	single := []Point{{Density: 1, Distance: 1, SybilPair: true}}
+	if _, err := TrainLine(single, 4); err == nil {
+		t.Error("single-class input should error")
+	}
+}
+
+func TestTrainLineSingleDensityFallsBackToConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	var pts []Point
+	for i := 0; i < 300; i++ {
+		pts = append(pts,
+			Point{Density: 4, Distance: 0.01 + 0.01*rng.Float64(), SybilPair: true},
+			Point{Density: 4, Distance: 0.3 + 0.4*rng.Float64(), SybilPair: false},
+		)
+	}
+	b, err := TrainLine(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.K != 0 {
+		t.Errorf("single-density training should fit a constant, got k=%v", b.K)
+	}
+	if b.B <= 0.02 || b.B >= 0.3 {
+		t.Errorf("constant %v outside the separating band", b.B)
+	}
+	if acc := Accuracy(b, pts); acc < 0.99 {
+		t.Errorf("accuracy %.3f on trivially separable data", acc)
+	}
+}
+
+func TestTrainLineWeightedPushesThresholdDown(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	// Overlapping classes: heavier flag weights must yield tighter (lower)
+	// thresholds.
+	var pts []Point
+	for i := 0; i < 1000; i++ {
+		den := 10 + rng.Float64()*90
+		pts = append(pts,
+			Point{Density: den, Distance: 0.02 + 0.03*math.Abs(rng.NormFloat64()), SybilPair: true},
+			Point{Density: den, Distance: 0.05 + 0.2*math.Abs(rng.NormFloat64()), SybilPair: false},
+		)
+	}
+	light, err := TrainLineWeighted(pts, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := TrainLineWeighted(pts, 6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atMid := func(b Boundary) float64 { return b.K*50 + b.B }
+	if atMid(heavy) >= atMid(light) {
+		t.Errorf("flag weight 100 threshold %.4f should be below weight 1 threshold %.4f",
+			atMid(heavy), atMid(light))
+	}
+}

@@ -1,0 +1,153 @@
+package mobility
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// EpochParams parameterize the continuous-time stochastic mobility model
+// of Section V-A: movement is a sequence of mobility epochs whose lengths
+// are i.i.d. exponential with mean 1/EpochRate; during each epoch the
+// vehicle holds a constant speed drawn i.i.d. from N(MeanSpeed,
+// SpeedStdDev^2).
+type EpochParams struct {
+	// EpochRate is lambda_e in 1/s (Table V: 0.2 -> mean epoch 5 s).
+	EpochRate float64
+	// MeanSpeed mu_v in m/s (Table V: 25).
+	MeanSpeed float64
+	// SpeedStdDev sigma_v in m/s (Table V: 5).
+	SpeedStdDev float64
+	// MinSpeed clamps drawn speeds from below; vehicles do not reverse.
+	MinSpeed float64
+}
+
+// DefaultEpochParams returns the Table V mobility parameters.
+func DefaultEpochParams() EpochParams {
+	return EpochParams{EpochRate: 0.2, MeanSpeed: 25, SpeedStdDev: 5, MinSpeed: 0}
+}
+
+// Validate checks the parameters.
+func (p EpochParams) Validate() error {
+	if p.EpochRate <= 0 {
+		return errors.New("mobility: epoch rate must be positive")
+	}
+	if p.MeanSpeed < 0 || p.SpeedStdDev < 0 || p.MinSpeed < 0 {
+		return errors.New("mobility: speeds must be non-negative")
+	}
+	return nil
+}
+
+// Car is a vehicle moving on a Highway under the epoch mobility model.
+// Create with NewCar; the zero value is not usable.
+type Car struct {
+	highway Highway
+	params  EpochParams
+
+	x         float64
+	lane      int
+	speed     float64
+	epochLeft time.Duration
+}
+
+var _ Mover = (*Car)(nil)
+
+// NewCar places a vehicle at longitudinal position x on the given lane and
+// draws its first epoch. Lane indices follow Highway.LaneY.
+func NewCar(h Highway, p EpochParams, x float64, lane int, rng *rand.Rand) (*Car, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if lane < 0 || lane >= h.Lanes() {
+		return nil, errors.New("mobility: lane out of range")
+	}
+	if x < 0 || x > h.Length {
+		return nil, errors.New("mobility: x out of range")
+	}
+	c := &Car{highway: h, params: p, x: x, lane: lane}
+	c.newEpoch(rng)
+	return c, nil
+}
+
+// newEpoch draws a fresh epoch duration and speed.
+func (c *Car) newEpoch(rng *rand.Rand) {
+	c.epochLeft = time.Duration(rng.ExpFloat64() / c.params.EpochRate * float64(time.Second))
+	speed := c.params.MeanSpeed + c.params.SpeedStdDev*rng.NormFloat64()
+	if speed < c.params.MinSpeed {
+		speed = c.params.MinSpeed
+	}
+	c.speed = speed
+}
+
+// Advance implements Mover, handling epoch boundaries exactly: motion
+// within dt is split at each epoch expiry.
+func (c *Car) Advance(dt time.Duration, rng *rand.Rand) {
+	for dt > 0 {
+		step := dt
+		if c.epochLeft < step {
+			step = c.epochLeft
+		}
+		c.move(step.Seconds(), rng)
+		c.epochLeft -= step
+		dt -= step
+		if c.epochLeft <= 0 {
+			c.newEpoch(rng)
+		}
+	}
+}
+
+// move advances the car sec seconds at the current speed, wrapping at the
+// highway ends: per Section V-A, "vehicles re-enter the highway at the
+// beginning of the other direction when they arrive at the end of one
+// direction".
+func (c *Car) move(sec float64, rng *rand.Rand) {
+	dir := float64(c.highway.LaneDirection(c.lane))
+	c.x += dir * c.speed * sec
+	for c.x < 0 || c.x > c.highway.Length {
+		if c.x > c.highway.Length {
+			over := c.x - c.highway.Length
+			c.lane = c.highway.randomOppositeLane(c.lane, rng)
+			c.x = c.highway.Length - over
+		} else {
+			under := -c.x
+			c.lane = c.highway.randomOppositeLane(c.lane, rng)
+			c.x = under
+		}
+	}
+}
+
+// Position implements Mover.
+func (c *Car) Position() Position {
+	return Position{X: c.x, Y: c.highway.LaneY(c.lane)}
+}
+
+// Speed implements Mover.
+func (c *Car) Speed() float64 { return c.speed }
+
+// Lane returns the current lane index.
+func (c *Car) Lane() int { return c.lane }
+
+// Direction returns +1 or -1 for the current travel direction.
+func (c *Car) Direction() int { return c.highway.LaneDirection(c.lane) }
+
+// PlaceUniform creates n cars uniformly spread over the highway with
+// random lanes, the initial condition of the Section V simulations.
+func PlaceUniform(h Highway, p EpochParams, n int, rng *rand.Rand) ([]*Car, error) {
+	if n <= 0 {
+		return nil, errors.New("mobility: need at least one car")
+	}
+	cars := make([]*Car, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * h.Length
+		lane := rng.Intn(h.Lanes())
+		c, err := NewCar(h, p, x, lane, rng)
+		if err != nil {
+			return nil, err
+		}
+		cars = append(cars, c)
+	}
+	return cars, nil
+}

@@ -1,0 +1,97 @@
+// Package mobility implements vehicle motion: the paper's simulation
+// geometry (a 2 km bi-directional highway with 2 lanes per direction,
+// Table V), the continuous-time stochastic epoch mobility model of
+// Section V-A, and scripted trajectories for the field-test scenarios of
+// Sections III and VI.
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Highway is the simulation road geometry. The zero value is unusable;
+// call DefaultHighway or fill every field.
+type Highway struct {
+	// Length is the road length in meters (Table V: 2000 m).
+	Length float64
+	// LanesPerDirection is the lane count each way (Table V: 2).
+	LanesPerDirection int
+	// LaneWidth in meters (Table V: 3.6 m).
+	LaneWidth float64
+}
+
+// DefaultHighway returns the paper's Table V geometry.
+func DefaultHighway() Highway {
+	return Highway{Length: 2000, LanesPerDirection: 2, LaneWidth: 3.6}
+}
+
+// Validate checks the geometry.
+func (h Highway) Validate() error {
+	if h.Length <= 0 {
+		return errors.New("mobility: highway length must be positive")
+	}
+	if h.LanesPerDirection < 1 {
+		return errors.New("mobility: need at least one lane per direction")
+	}
+	if h.LaneWidth <= 0 {
+		return errors.New("mobility: lane width must be positive")
+	}
+	return nil
+}
+
+// Lanes returns the total lane count (both directions).
+func (h Highway) Lanes() int { return 2 * h.LanesPerDirection }
+
+// LaneY returns the lateral offset of a lane's center line. Lanes
+// 0..LanesPerDirection-1 run in the +x direction, the rest in -x.
+func (h Highway) LaneY(lane int) float64 {
+	return (float64(lane) + 0.5) * h.LaneWidth
+}
+
+// LaneDirection returns +1 for forward lanes and -1 for reverse lanes.
+func (h Highway) LaneDirection(lane int) int {
+	if lane < h.LanesPerDirection {
+		return 1
+	}
+	return -1
+}
+
+// randomOppositeLane picks a random lane of the opposite direction.
+func (h Highway) randomOppositeLane(lane int, rng *rand.Rand) int {
+	if h.LaneDirection(lane) > 0 {
+		return h.LanesPerDirection + rng.Intn(h.LanesPerDirection)
+	}
+	return rng.Intn(h.LanesPerDirection)
+}
+
+// Position is a planar vehicle position: X along the road, Y lateral.
+type Position struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between two positions.
+func Distance(a, b Position) float64 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Mover is what the simulation engine steps: anything that can advance in
+// time and report a position.
+type Mover interface {
+	// Advance moves the vehicle dt forward in time.
+	Advance(dt time.Duration, rng *rand.Rand)
+	// Position reports the current planar position.
+	Position() Position
+	// Speed reports the current speed in m/s.
+	Speed() float64
+}
+
+// String renders a position for logs.
+func (p Position) String() string {
+	return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y)
+}

@@ -1,0 +1,287 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHighwayValidate(t *testing.T) {
+	if err := DefaultHighway().Validate(); err != nil {
+		t.Errorf("default highway invalid: %v", err)
+	}
+	bad := []Highway{
+		{},
+		{Length: -1, LanesPerDirection: 2, LaneWidth: 3.6},
+		{Length: 2000, LanesPerDirection: 0, LaneWidth: 3.6},
+		{Length: 2000, LanesPerDirection: 2, LaneWidth: 0},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestHighwayLanes(t *testing.T) {
+	h := DefaultHighway()
+	if h.Lanes() != 4 {
+		t.Errorf("Lanes = %d, want 4", h.Lanes())
+	}
+	if h.LaneY(0) != 1.8 {
+		t.Errorf("LaneY(0) = %v, want 1.8", h.LaneY(0))
+	}
+	if h.LaneY(3) != 3.5*3.6 {
+		t.Errorf("LaneY(3) = %v", h.LaneY(3))
+	}
+	if h.LaneDirection(0) != 1 || h.LaneDirection(1) != 1 {
+		t.Error("lanes 0-1 should be forward")
+	}
+	if h.LaneDirection(2) != -1 || h.LaneDirection(3) != -1 {
+		t.Error("lanes 2-3 should be reverse")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := Position{X: 0, Y: 0}
+	b := Position{X: 3, Y: 4}
+	if Distance(a, b) != 5 {
+		t.Errorf("Distance = %v, want 5", Distance(a, b))
+	}
+	if Distance(a, a) != 0 {
+		t.Error("self-distance should be 0")
+	}
+}
+
+func TestNewCarValidation(t *testing.T) {
+	h := DefaultHighway()
+	p := DefaultEpochParams()
+	rng := rand.New(rand.NewSource(71))
+	if _, err := NewCar(h, p, 100, 0, rng); err != nil {
+		t.Errorf("valid car rejected: %v", err)
+	}
+	if _, err := NewCar(h, p, 100, 7, rng); err == nil {
+		t.Error("lane out of range should error")
+	}
+	if _, err := NewCar(h, p, -5, 0, rng); err == nil {
+		t.Error("x out of range should error")
+	}
+	if _, err := NewCar(Highway{}, p, 0, 0, rng); err == nil {
+		t.Error("invalid highway should error")
+	}
+	if _, err := NewCar(h, EpochParams{}, 0, 0, rng); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestCarStaysOnHighway(t *testing.T) {
+	h := DefaultHighway()
+	p := DefaultEpochParams()
+	rng := rand.New(rand.NewSource(72))
+	car, err := NewCar(h, p, 1900, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		car.Advance(100*time.Millisecond, rng)
+		pos := car.Position()
+		if pos.X < 0 || pos.X > h.Length {
+			t.Fatalf("car left the highway: %v", pos)
+		}
+		if car.Lane() < 0 || car.Lane() >= h.Lanes() {
+			t.Fatalf("illegal lane %d", car.Lane())
+		}
+	}
+}
+
+func TestCarWrapsToOppositeDirection(t *testing.T) {
+	h := DefaultHighway()
+	p := EpochParams{EpochRate: 0.001, MeanSpeed: 30, SpeedStdDev: 0, MinSpeed: 30}
+	rng := rand.New(rand.NewSource(73))
+	car, err := NewCar(h, p, 1990, 0, rng) // forward lane near the end
+	if err != nil {
+		t.Fatal(err)
+	}
+	car.Advance(time.Second, rng) // 30 m: passes the end
+	if car.Direction() != -1 {
+		t.Errorf("direction after wrap = %d, want -1", car.Direction())
+	}
+	if got := car.Position().X; !almostEqual(got, 1980, 1e-6) {
+		t.Errorf("x after wrap = %v, want 1980", got)
+	}
+}
+
+func TestCarSpeedDistribution(t *testing.T) {
+	h := DefaultHighway()
+	p := DefaultEpochParams()
+	rng := rand.New(rand.NewSource(74))
+	car, err := NewCar(h, p, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var speeds []float64
+	for i := 0; i < 20000; i++ {
+		car.Advance(time.Second, rng)
+		speeds = append(speeds, car.Speed())
+	}
+	var sum float64
+	for _, s := range speeds {
+		sum += s
+	}
+	mean := sum / float64(len(speeds))
+	// Epoch speeds ~ N(25, 5); sampling every second weights epochs by
+	// duration, but the mean should stay near 25.
+	if !almostEqual(mean, 25, 1.0) {
+		t.Errorf("mean speed = %v, want ~25", mean)
+	}
+	for _, s := range speeds {
+		if s < 0 {
+			t.Fatal("negative speed")
+		}
+	}
+}
+
+func TestCarEpochDurations(t *testing.T) {
+	// With lambda_e = 0.2 epochs last 5 s on average; speed changes should
+	// occur roughly every 5 s of advancing.
+	h := DefaultHighway()
+	p := DefaultEpochParams()
+	rng := rand.New(rand.NewSource(75))
+	car, err := NewCar(h, p, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := 0
+	prev := car.Speed()
+	const steps = 60000 // 100 ms each -> 6000 s
+	for i := 0; i < steps; i++ {
+		car.Advance(100*time.Millisecond, rng)
+		if car.Speed() != prev {
+			changes++
+			prev = car.Speed()
+		}
+	}
+	perSecond := float64(changes) / 6000.0
+	if !almostEqual(perSecond, 0.2, 0.05) {
+		t.Errorf("epoch rate = %v changes/s, want ~0.2", perSecond)
+	}
+}
+
+func TestPlaceUniform(t *testing.T) {
+	h := DefaultHighway()
+	p := DefaultEpochParams()
+	rng := rand.New(rand.NewSource(76))
+	cars, err := PlaceUniform(h, p, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cars) != 100 {
+		t.Fatalf("got %d cars", len(cars))
+	}
+	var sumX float64
+	for _, c := range cars {
+		pos := c.Position()
+		if pos.X < 0 || pos.X > h.Length {
+			t.Fatalf("car off highway at %v", pos)
+		}
+		sumX += pos.X
+	}
+	if mean := sumX / 100; mean < 700 || mean > 1300 {
+		t.Errorf("mean x = %v, expected near 1000 for uniform placement", mean)
+	}
+	if _, err := PlaceUniform(h, p, 0, rng); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestScriptedInterpolation(t *testing.T) {
+	s, err := NewScripted([]Waypoint{
+		{T: 0, Pos: Position{X: 0, Y: 0}},
+		{T: 10 * time.Second, Pos: Position{X: 100, Y: 0}},
+		{T: 20 * time.Second, Pos: Position{X: 100, Y: 50}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		t    time.Duration
+		want Position
+	}{
+		{0, Position{0, 0}},
+		{5 * time.Second, Position{50, 0}},
+		{10 * time.Second, Position{100, 0}},
+		{15 * time.Second, Position{100, 25}},
+		{25 * time.Second, Position{100, 50}}, // holds endpoint
+		{-5 * time.Second, Position{0, 0}},    // holds start
+	}
+	for _, tt := range tests {
+		got := s.PositionAt(tt.t)
+		if !almostEqual(got.X, tt.want.X, 1e-9) || !almostEqual(got.Y, tt.want.Y, 1e-9) {
+			t.Errorf("PositionAt(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestScriptedAdvanceAndSpeed(t *testing.T) {
+	s, err := NewScripted([]Waypoint{
+		{T: 0, Pos: Position{X: 0, Y: 0}},
+		{T: 10 * time.Second, Pos: Position{X: 100, Y: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(5*time.Second, nil)
+	if got := s.Position(); !almostEqual(got.X, 50, 1e-9) {
+		t.Errorf("position after advance = %v", got)
+	}
+	if got := s.Speed(); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("speed = %v, want 10", got)
+	}
+	s.Advance(10*time.Second, nil)
+	if got := s.Speed(); got != 0 {
+		t.Errorf("speed past end = %v, want 0", got)
+	}
+	if s.Clock() != 15*time.Second {
+		t.Errorf("clock = %v", s.Clock())
+	}
+}
+
+func TestScriptedValidation(t *testing.T) {
+	if _, err := NewScripted(nil); err == nil {
+		t.Error("empty waypoints should error")
+	}
+	if _, err := NewScripted([]Waypoint{
+		{T: time.Second, Pos: Position{}},
+		{T: time.Second, Pos: Position{}},
+	}); err == nil {
+		t.Error("non-increasing times should error")
+	}
+}
+
+func TestConstantVelocityAndStationary(t *testing.T) {
+	cv, err := ConstantVelocity(Position{X: 10, Y: 2}, 5, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cv.PositionAt(4 * time.Second); !almostEqual(got.X, 30, 1e-9) {
+		t.Errorf("constant velocity at 4s = %v", got)
+	}
+	st, err := Stationary(Position{X: 7, Y: 7}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PositionAt(30 * time.Second); got.X != 7 || got.Y != 7 {
+		t.Errorf("stationary moved: %v", got)
+	}
+	if _, err := ConstantVelocity(Position{}, 1, 1, 0); err == nil {
+		t.Error("zero duration should error")
+	}
+	if _, err := Stationary(Position{}, 0); err == nil {
+		t.Error("zero duration should error")
+	}
+}
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

@@ -1,0 +1,106 @@
+package mobility
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Waypoint pins a position at an instant of scripted time.
+type Waypoint struct {
+	T   time.Duration
+	Pos Position
+}
+
+// Scripted replays a piecewise-linear trajectory through waypoints. It is
+// how the field-test scenarios (Section III Scenario 3, Section VI) are
+// reconstructed: each of the four vehicles follows a script that encodes
+// the convoy geometry, speed changes, and the red-light stop.
+type Scripted struct {
+	waypoints []Waypoint
+	clock     time.Duration
+}
+
+var _ Mover = (*Scripted)(nil)
+
+// NewScripted builds a trajectory. Waypoints must be in strictly
+// increasing time order and there must be at least one.
+func NewScripted(wps []Waypoint) (*Scripted, error) {
+	if len(wps) == 0 {
+		return nil, errors.New("mobility: scripted trajectory needs waypoints")
+	}
+	for i := 1; i < len(wps); i++ {
+		if wps[i].T <= wps[i-1].T {
+			return nil, errors.New("mobility: waypoints must be strictly time-ordered")
+		}
+	}
+	cp := make([]Waypoint, len(wps))
+	copy(cp, wps)
+	return &Scripted{waypoints: cp}, nil
+}
+
+// Advance implements Mover.
+func (s *Scripted) Advance(dt time.Duration, _ *rand.Rand) {
+	s.clock += dt
+}
+
+// Position implements Mover: linear interpolation between the surrounding
+// waypoints; the trajectory holds its endpoints outside the scripted span.
+func (s *Scripted) Position() Position {
+	return s.PositionAt(s.clock)
+}
+
+// PositionAt evaluates the trajectory at an arbitrary time.
+func (s *Scripted) PositionAt(t time.Duration) Position {
+	wps := s.waypoints
+	if t <= wps[0].T {
+		return wps[0].Pos
+	}
+	last := wps[len(wps)-1]
+	if t >= last.T {
+		return last.Pos
+	}
+	// First waypoint strictly after t.
+	i := sort.Search(len(wps), func(k int) bool { return wps[k].T > t })
+	a, b := wps[i-1], wps[i]
+	frac := float64(t-a.T) / float64(b.T-a.T)
+	return Position{
+		X: a.Pos.X + frac*(b.Pos.X-a.Pos.X),
+		Y: a.Pos.Y + frac*(b.Pos.Y-a.Pos.Y),
+	}
+}
+
+// Speed implements Mover: the instantaneous speed of the current segment.
+func (s *Scripted) Speed() float64 {
+	wps := s.waypoints
+	t := s.clock
+	if t < wps[0].T || t >= wps[len(wps)-1].T || len(wps) < 2 {
+		return 0
+	}
+	i := sort.Search(len(wps), func(k int) bool { return wps[k].T > t })
+	a, b := wps[i-1], wps[i]
+	return Distance(a.Pos, b.Pos) / (b.T - a.T).Seconds()
+}
+
+// Clock returns the trajectory's current scripted time.
+func (s *Scripted) Clock() time.Duration { return s.clock }
+
+// ConstantVelocity builds a trajectory that starts at pos and moves with
+// the given velocity (m/s along x and y) for the given duration.
+func ConstantVelocity(pos Position, vx, vy float64, dur time.Duration) (*Scripted, error) {
+	if dur <= 0 {
+		return nil, errors.New("mobility: duration must be positive")
+	}
+	end := Position{X: pos.X + vx*dur.Seconds(), Y: pos.Y + vy*dur.Seconds()}
+	return NewScripted([]Waypoint{{T: 0, Pos: pos}, {T: dur, Pos: end}})
+}
+
+// Stationary builds a trajectory that never moves (the Scenario 1
+// stationary measurement, and stopped vehicles at a red light).
+func Stationary(pos Position, dur time.Duration) (*Scripted, error) {
+	if dur <= 0 {
+		return nil, errors.New("mobility: duration must be positive")
+	}
+	return NewScripted([]Waypoint{{T: 0, Pos: pos}, {T: dur, Pos: pos}})
+}

@@ -1,0 +1,202 @@
+// Package plot renders minimal, dependency-free SVG charts for the
+// reproduced figures: the Figure 10 scatter with its decision boundary
+// and the Figure 11 DR/FPR-vs-density curves. It is intentionally small —
+// fixed layout, numeric axes, no styling knobs beyond series color — and
+// exists so `cmd/experiments -svg` can drop viewable artifacts next to
+// the text tables.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) datum.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points drawn as a polyline (Line) or as
+// dots (scatter).
+type Series struct {
+	Name   string
+	Color  string
+	Points []Point
+	// Line connects the points in order; otherwise they render as dots.
+	Line bool
+}
+
+// Chart is a single-panel XY chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// XMin..YMax set the viewport; zero values auto-fit to the data with
+	// 5% padding.
+	XMin, XMax, YMin, YMax float64
+}
+
+// Canvas geometry (fixed).
+const (
+	width      = 760
+	height     = 480
+	marginL    = 70
+	marginR    = 24
+	marginT    = 40
+	marginB    = 56
+	plotWidth  = width - marginL - marginR
+	plotHeight = height - marginT - marginB
+)
+
+// SVG renders the chart.
+func (c *Chart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", errors.New("plot: chart needs at least one series")
+	}
+	xMin, xMax, yMin, yMax, err := c.bounds()
+	if err != nil {
+		return "", err
+	}
+	sx := func(x float64) float64 {
+		return marginL + (x-xMin)/(xMax-xMin)*plotWidth
+	}
+	sy := func(y float64) float64 {
+		return marginT + plotHeight - (y-yMin)/(yMax-yMin)*plotHeight
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+		width/2, escape(c.Title))
+
+	// Axes and ticks.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, plotWidth, plotHeight)
+	for _, t := range ticks(xMin, xMax, 6) {
+		x := sx(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc"/>`+"\n",
+			x, marginT, x, marginT+plotHeight)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginT+plotHeight+16, formatTick(t))
+	}
+	for _, t := range ticks(yMin, yMax, 6) {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginL, y, marginL+plotWidth, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, formatTick(t))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotWidth/2, height-14, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="18" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+		marginT+plotHeight/2, marginT+plotHeight/2, escape(c.YLabel))
+
+	// Series.
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	for i, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = palette[i%len(palette)]
+		}
+		if s.Line {
+			var pts []string
+			for _, p := range s.Points {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(p.X), sy(p.Y)))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+			for _, p := range s.Points {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n",
+					sx(p.X), sy(p.Y), color)
+			}
+		} else {
+			for _, p := range s.Points {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2" fill="%s" fill-opacity="0.5"/>`+"\n",
+					sx(p.X), sy(p.Y), color)
+			}
+		}
+		// Legend row.
+		ly := marginT + 14 + 18*i
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			marginL+plotWidth-170, ly-10, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			marginL+plotWidth-152, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// bounds computes the viewport.
+func (c *Chart) bounds() (xMin, xMax, yMin, yMax float64, err error) {
+	xMin, xMax = c.XMin, c.XMax
+	yMin, yMax = c.YMin, c.YMax
+	auto := xMin == 0 && xMax == 0 && yMin == 0 && yMax == 0
+	if auto {
+		xMin, yMin = math.Inf(1), math.Inf(1)
+		xMax, yMax = math.Inf(-1), math.Inf(-1)
+		n := 0
+		for _, s := range c.Series {
+			for _, p := range s.Points {
+				if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+					return 0, 0, 0, 0, errors.New("plot: NaN datum")
+				}
+				xMin = math.Min(xMin, p.X)
+				xMax = math.Max(xMax, p.X)
+				yMin = math.Min(yMin, p.Y)
+				yMax = math.Max(yMax, p.Y)
+				n++
+			}
+		}
+		if n == 0 {
+			return 0, 0, 0, 0, errors.New("plot: no data")
+		}
+		padX := (xMax - xMin) * 0.05
+		padY := (yMax - yMin) * 0.05
+		if padX == 0 {
+			padX = 1
+		}
+		if padY == 0 {
+			padY = 1
+		}
+		xMin, xMax = xMin-padX, xMax+padX
+		yMin, yMax = yMin-padY, yMax+padY
+	}
+	if xMax <= xMin || yMax <= yMin {
+		return 0, 0, 0, 0, errors.New("plot: degenerate viewport")
+	}
+	return xMin, xMax, yMin, yMax, nil
+}
+
+// ticks returns ~n round tick positions spanning [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+	}
+	for span/step > float64(n) {
+		step *= 2.5
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+1e-12; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func formatTick(t float64) string {
+	if t == math.Trunc(t) && math.Abs(t) < 1e6 {
+		return fmt.Sprintf("%d", int64(t))
+	}
+	return fmt.Sprintf("%.3g", t)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,118 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "DR vs density",
+		XLabel: "density (vhls/km)",
+		YLabel: "rate",
+		Series: []Series{
+			{Name: "Voiceprint", Line: true, Points: []Point{{10, 0.95}, {50, 0.9}, {100, 0.88}}},
+			{Name: "CPVSAD", Line: true, Points: []Point{{10, 0.7}, {50, 0.8}, {100, 0.85}}},
+		},
+	}
+}
+
+func TestSVGRenders(t *testing.T) {
+	svg, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "DR vs density", "Voiceprint", "CPVSAD",
+		"polyline", "density (vhls/km)",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestSVGScatter(t *testing.T) {
+	c := &Chart{
+		Title: "scatter",
+		Series: []Series{{
+			Name:   "dots",
+			Points: []Point{{1, 2}, {3, 4}},
+		}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "polyline") {
+		t.Error("scatter series should not emit polylines")
+	}
+	if !strings.Contains(svg, "circle") {
+		t.Error("scatter series should emit circles")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (&Chart{}).SVG(); err == nil {
+		t.Error("empty chart should error")
+	}
+	if _, err := (&Chart{Series: []Series{{Name: "e"}}}).SVG(); err == nil {
+		t.Error("no data should error")
+	}
+	nan := &Chart{Series: []Series{{Name: "n", Points: []Point{{math.NaN(), 1}}}}}
+	if _, err := nan.SVG(); err == nil {
+		t.Error("NaN should error")
+	}
+	flat := &Chart{XMin: 1, XMax: 1, YMin: 0, YMax: 1,
+		Series: []Series{{Name: "f", Points: []Point{{1, 1}}}}}
+	if _, err := flat.SVG(); err == nil {
+		t.Error("degenerate viewport should error")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	c := sampleChart()
+	c.Title = `a<b & "c"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "a<b") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestTicksAreRoundAndCover(t *testing.T) {
+	ts := ticks(0, 100, 6)
+	if len(ts) < 3 || len(ts) > 8 {
+		t.Fatalf("got %d ticks: %v", len(ts), ts)
+	}
+	if ts[0] < 0 || ts[len(ts)-1] > 100 {
+		t.Errorf("ticks escape the range: %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Errorf("ticks not increasing: %v", ts)
+		}
+	}
+	// Constant-ish spacing.
+	step := ts[1] - ts[0]
+	for i := 2; i < len(ts); i++ {
+		if math.Abs((ts[i]-ts[i-1])-step) > 1e-9 {
+			t.Errorf("uneven tick spacing: %v", ts)
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if got := formatTick(40); got != "40" {
+		t.Errorf("formatTick(40) = %q", got)
+	}
+	if got := formatTick(0.125); got != "0.125" {
+		t.Errorf("formatTick(0.125) = %q", got)
+	}
+}

@@ -1,0 +1,151 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"voiceprint/internal/stats"
+)
+
+// Measurement is one path-loss observation at a known distance, the unit
+// of the Section III measurement campaign.
+type Measurement struct {
+	Distance   float64 // meters
+	PathLossDB float64
+}
+
+// FitResult is a fitted dual-slope model plus fit quality.
+type FitResult struct {
+	Params DualSlopeParams
+	// SSE is the total sum of squared residuals at the chosen breakpoint.
+	SSE float64
+	// N1 and N2 are the sample counts in the near and far segments.
+	N1, N2 int
+}
+
+// FitDualSlope fits the Equation 1 model to measurements by least squares,
+// reproducing the paper's Table IV regression ("Three data sets ... are
+// regression-fitted using least square method"). The reference distance d0
+// is fixed (the paper uses 1 m); the critical distance is found by grid
+// search over candidate breakpoints, fitting the near segment by OLS of
+// path loss on 10*log10(d/d0) and the far segment by a continuity-
+// constrained regression through the breakpoint. Sigma1/Sigma2 are the
+// residual standard deviations of the two segments.
+//
+// Measurements below d0 are discarded. At least 8 points per segment are
+// required for a stable fit.
+func FitDualSlope(ms []Measurement, d0 float64) (FitResult, error) {
+	if d0 <= 0 {
+		return FitResult{}, errors.New("radio: d0 must be positive")
+	}
+	pts := make([]Measurement, 0, len(ms))
+	for _, m := range ms {
+		if m.Distance >= d0 {
+			pts = append(pts, m)
+		}
+	}
+	const minSegment = 8
+	if len(pts) < 2*minSegment {
+		return FitResult{}, fmt.Errorf("radio: need >= %d usable measurements, have %d",
+			2*minSegment, len(pts))
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Distance < pts[j].Distance })
+
+	// x-coordinate for regression: 10*log10(d/d0), so slopes are gammas.
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = 10 * math.Log10(p.Distance/d0)
+		ys[i] = p.PathLossDB
+	}
+
+	best := FitResult{SSE: math.Inf(1)}
+	// Candidate breakpoints: every distinct split leaving minSegment points
+	// on each side.
+	for split := minSegment; split <= len(pts)-minSegment; split++ {
+		dc := pts[split].Distance
+		if dc <= d0 || pts[split-1].Distance == dc {
+			continue // skip ties so both segments get distinct distances
+		}
+		fit1, err := stats.OLS(xs[:split], ys[:split])
+		if err != nil {
+			continue
+		}
+		if fit1.Slope <= 0 {
+			continue // path loss must grow with distance
+		}
+		// Far segment: PL = PL(dc) + gamma2 * (x - xc), constrained through
+		// the near segment's value at the breakpoint.
+		xc := 10 * math.Log10(dc/d0)
+		plAtDc := fit1.Predict(xc)
+		var sxx, sxy float64
+		for i := split; i < len(pts); i++ {
+			dx := xs[i] - xc
+			dy := ys[i] - plAtDc
+			sxx += dx * dx
+			sxy += dx * dy
+		}
+		if sxx == 0 {
+			continue
+		}
+		gamma2 := sxy / sxx
+		if gamma2 <= 0 {
+			continue
+		}
+
+		var sse1, sse2 float64
+		for i := 0; i < split; i++ {
+			r := ys[i] - fit1.Predict(xs[i])
+			sse1 += r * r
+		}
+		for i := split; i < len(pts); i++ {
+			r := ys[i] - (plAtDc + gamma2*(xs[i]-xc))
+			sse2 += r * r
+		}
+		if sse := sse1 + sse2; sse < best.SSE {
+			best = FitResult{
+				Params: DualSlopeParams{
+					RefDistance:      d0,
+					CriticalDistance: dc,
+					Gamma1:           fit1.Slope,
+					Gamma2:           gamma2,
+					Sigma1:           math.Sqrt(sse1 / float64(split)),
+					Sigma2:           math.Sqrt(sse2 / float64(len(pts)-split)),
+				},
+				SSE: sse,
+				N1:  split,
+				N2:  len(pts) - split,
+			}
+		}
+	}
+	if math.IsInf(best.SSE, 1) {
+		return FitResult{}, errors.New("radio: no valid dual-slope fit found")
+	}
+	return best, nil
+}
+
+// SampleCampaign simulates a measurement campaign against a Model: count
+// path-loss samples at log-uniform random distances in [dMin, dMax].
+// It is the synthetic stand-in for the paper's drive tests feeding
+// Table IV.
+func SampleCampaign(m Model, count int, dMin, dMax float64, rng *rand.Rand) ([]Measurement, error) {
+	if count <= 0 {
+		return nil, errors.New("radio: campaign count must be positive")
+	}
+	if dMin <= 0 || dMax <= dMin {
+		return nil, errors.New("radio: invalid campaign distance range")
+	}
+	out := make([]Measurement, count)
+	logMin, logMax := math.Log(dMin), math.Log(dMax)
+	for i := range out {
+		d := math.Exp(logMin + rng.Float64()*(logMax-logMin))
+		out[i] = Measurement{
+			Distance:   d,
+			PathLossDB: m.SamplePathLossDB(d, rng),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFitDualSlopeRecoversTableIV generates a synthetic measurement
+// campaign from each Table IV parameter set and checks the least-squares
+// fitter recovers the generating parameters — the repo's substitution for
+// the paper's real drive tests (see DESIGN.md).
+func TestFitDualSlopeRecoversTableIV(t *testing.T) {
+	tests := []struct {
+		name   string
+		params DualSlopeParams
+	}{
+		{"campus", CampusParams},
+		{"rural", RuralParams},
+		{"urban", UrbanParams},
+	}
+	rng := rand.New(rand.NewSource(61))
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			truth := DualSlope{Params: tt.params}
+			ms, err := SampleCampaign(truth, 4000, 1, 1000, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fit, err := FitDualSlope(ms, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := fit.Params
+			if err := p.Validate(); err != nil {
+				t.Fatalf("fitted params invalid: %v", err)
+			}
+			if math.Abs(p.Gamma1-tt.params.Gamma1) > 0.15 {
+				t.Errorf("gamma1 = %.3f, want %.2f", p.Gamma1, tt.params.Gamma1)
+			}
+			if math.Abs(p.Gamma2-tt.params.Gamma2) > 0.4 {
+				t.Errorf("gamma2 = %.3f, want %.2f", p.Gamma2, tt.params.Gamma2)
+			}
+			if rel := math.Abs(p.CriticalDistance-tt.params.CriticalDistance) / tt.params.CriticalDistance; rel > 0.25 {
+				t.Errorf("d_c = %.1f, want %.0f (rel err %.2f)",
+					p.CriticalDistance, tt.params.CriticalDistance, rel)
+			}
+			if math.Abs(p.Sigma1-tt.params.Sigma1) > 0.6 {
+				t.Errorf("sigma1 = %.2f, want %.1f", p.Sigma1, tt.params.Sigma1)
+			}
+			if math.Abs(p.Sigma2-tt.params.Sigma2) > 0.8 {
+				t.Errorf("sigma2 = %.2f, want %.1f", p.Sigma2, tt.params.Sigma2)
+			}
+		})
+	}
+}
+
+func TestFitDualSlopeNoiseless(t *testing.T) {
+	// With zero shadowing the fit should be near-perfect.
+	params := DualSlopeParams{
+		RefDistance: 1, CriticalDistance: 150, Gamma1: 2, Gamma2: 5,
+	}
+	truth := DualSlope{Params: params}
+	var ms []Measurement
+	for d := 2.0; d < 800; d *= 1.05 {
+		ms = append(ms, Measurement{Distance: d, PathLossDB: truth.MeanPathLossDB(d)})
+	}
+	fit, err := FitDualSlope(ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerances allow for breakpoint-grid quantization: candidate d_c
+	// values land on sample distances, so a boundary between samples
+	// biases the far slope by a percent or two.
+	if math.Abs(fit.Params.Gamma1-2) > 0.05 || math.Abs(fit.Params.Gamma2-5) > 0.15 {
+		t.Errorf("noiseless fit gammas = (%.3f, %.3f), want (2, 5)",
+			fit.Params.Gamma1, fit.Params.Gamma2)
+	}
+	if math.Abs(fit.Params.CriticalDistance-150)/150 > 0.1 {
+		t.Errorf("noiseless d_c = %.1f, want ~150", fit.Params.CriticalDistance)
+	}
+	if fit.Params.Sigma1 > 0.2 || fit.Params.Sigma2 > 0.2 {
+		t.Errorf("noiseless sigmas = (%.3f, %.3f), want ~0",
+			fit.Params.Sigma1, fit.Params.Sigma2)
+	}
+}
+
+func TestFitDualSlopeErrors(t *testing.T) {
+	if _, err := FitDualSlope(nil, 1); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FitDualSlope([]Measurement{{1, 50}}, 0); err == nil {
+		t.Error("d0 = 0 should error")
+	}
+	few := make([]Measurement, 10)
+	for i := range few {
+		few[i] = Measurement{Distance: float64(i + 2), PathLossDB: 50}
+	}
+	if _, err := FitDualSlope(few, 1); err == nil {
+		t.Error("too few points should error")
+	}
+}
+
+func TestFitDualSlopeRejectsBelowD0(t *testing.T) {
+	truth := DualSlope{Params: CampusParams}
+	rng := rand.New(rand.NewSource(62))
+	ms, err := SampleCampaign(truth, 1000, 1, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add junk below d0 that must be ignored.
+	ms = append(ms, Measurement{Distance: 0.1, PathLossDB: -10})
+	if _, err := FitDualSlope(ms, 1); err != nil {
+		t.Fatalf("fit should tolerate sub-d0 points: %v", err)
+	}
+}
+
+func TestSampleCampaignErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	if _, err := SampleCampaign(FreeSpace{}, 0, 1, 100, rng); err == nil {
+		t.Error("count 0 should error")
+	}
+	if _, err := SampleCampaign(FreeSpace{}, 10, 0, 100, rng); err == nil {
+		t.Error("dMin 0 should error")
+	}
+	if _, err := SampleCampaign(FreeSpace{}, 10, 100, 100, rng); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestSampleCampaignRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	ms, err := SampleCampaign(FreeSpace{}, 500, 5, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 500 {
+		t.Fatalf("got %d measurements", len(ms))
+	}
+	for _, m := range ms {
+		if m.Distance < 5 || m.Distance > 500 {
+			t.Fatalf("distance %v out of range", m.Distance)
+		}
+	}
+}

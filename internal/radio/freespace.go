@@ -1,0 +1,46 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FreeSpace is the Friis free-space path-loss model used by Demirbas [14]
+// and Bouassida [17]:
+//
+//	PL(d) = 20 log10(d) + 20 log10(f) + 20 log10(4*pi/c)
+type FreeSpace struct {
+	// FreqHz is the carrier frequency; zero means DSRCFrequencyHz.
+	FreqHz float64
+	// MinDistance clamps the near field; zero means 1 m.
+	MinDistance float64
+}
+
+var _ Model = FreeSpace{}
+
+// Name implements Model.
+func (FreeSpace) Name() string { return "free-space" }
+
+// MeanPathLossDB implements Model.
+func (m FreeSpace) MeanPathLossDB(d float64) float64 {
+	f := m.FreqHz
+	if f == 0 {
+		f = DSRCFrequencyHz
+	}
+	minD := m.MinDistance
+	if minD == 0 {
+		minD = 1
+	}
+	if d < minD {
+		d = minD
+	}
+	return 20*math.Log10(d) + 20*math.Log10(f) + 20*math.Log10(4*math.Pi/SpeedOfLight)
+}
+
+// SamplePathLossDB implements Model; free space is deterministic.
+func (m FreeSpace) SamplePathLossDB(d float64, _ *rand.Rand) float64 {
+	return m.MeanPathLossDB(d)
+}
+
+// ShadowSigmaDB implements Model; free space has no fading term.
+func (FreeSpace) ShadowSigmaDB(float64) float64 { return 0 }

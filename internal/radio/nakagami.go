@@ -1,0 +1,116 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Nakagami models small-scale fading with a Nakagami-m envelope, the
+// standard V2V fading family (m = 1 reduces to Rayleigh; m ~ 3 matches
+// near-LOS highway links; m grows, fading tightens). The received power
+// gain is Gamma-distributed with shape m and unit mean, applied on top of
+// a mean path-loss model.
+type Nakagami struct {
+	// Mean supplies the mean path loss; nil means FreeSpace{}.
+	Mean Model
+	// M is the shape parameter; values below 0.5 are clamped to 0.5
+	// (the Nakagami lower bound), and zero means 3 (near-LOS V2V).
+	M float64
+}
+
+var _ Model = Nakagami{}
+
+// Name implements Model.
+func (Nakagami) Name() string { return "nakagami" }
+
+func (m Nakagami) mean() Model {
+	if m.Mean == nil {
+		return FreeSpace{}
+	}
+	return m.Mean
+}
+
+func (m Nakagami) shape() float64 {
+	switch {
+	case m.M == 0:
+		return 3
+	case m.M < 0.5:
+		return 0.5
+	default:
+		return m.M
+	}
+}
+
+// MeanPathLossDB implements Model.
+func (m Nakagami) MeanPathLossDB(d float64) float64 {
+	return m.mean().MeanPathLossDB(d)
+}
+
+// SamplePathLossDB implements Model.
+func (m Nakagami) SamplePathLossDB(d float64, rng *rand.Rand) float64 {
+	pl := m.mean().SamplePathLossDB(d, rng)
+	if rng == nil {
+		return pl
+	}
+	gain := gammaUnitMean(m.shape(), rng)
+	if gain < 1e-12 {
+		gain = 1e-12
+	}
+	return pl - 10*math.Log10(gain)
+}
+
+// ShadowSigmaDB implements Model: the underlying model's sigma plus the
+// Nakagami power spread in dB, in quadrature. For a Gamma(m) unit-mean
+// power the dB-domain standard deviation is (10/ln 10) * sqrt(psi'(m)).
+func (m Nakagami) ShadowSigmaDB(d float64) float64 {
+	base := m.mean().ShadowSigmaDB(d)
+	nak := 10 / math.Ln10 * math.Sqrt(trigamma(m.shape()))
+	return math.Sqrt(base*base + nak*nak)
+}
+
+// gammaUnitMean draws Gamma(shape=m, mean=1) via Marsaglia-Tsang.
+func gammaUnitMean(m float64, rng *rand.Rand) float64 {
+	return gammaDraw(m, rng) / m
+}
+
+// gammaDraw samples Gamma(shape, 1).
+func gammaDraw(shape float64, rng *rand.Rand) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		if u <= 0 {
+			u = 1e-16
+		}
+		return gammaDraw(shape+1, rng) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// trigamma approximates psi'(x) via the recurrence and asymptotic series.
+func trigamma(x float64) float64 {
+	var acc float64
+	for x < 6 {
+		acc += 1 / (x * x)
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	// Asymptotic: 1/x + 1/(2x^2) + 1/(6x^3) - 1/(30x^5) + 1/(42x^7).
+	return acc + inv + inv2/2 + inv*inv2/6 - inv*inv2*inv2/30 + inv*inv2*inv2*inv2/42
+}

@@ -1,0 +1,62 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rayleigh models NLOS multipath fading on top of a mean path loss, as
+// assumed by Wang [15]: the received envelope is Rayleigh distributed, so
+// the received power has an exponential distribution around its mean.
+// In dB terms the sampled path loss is
+//
+//	PL(d) = PL_mean(d) - 10*log10(E)
+//
+// with E ~ Exp(1) (unit-mean exponential power gain).
+type Rayleigh struct {
+	// Mean supplies the mean path loss; nil means FreeSpace{}.
+	Mean Model
+}
+
+var _ Model = Rayleigh{}
+
+// Name implements Model.
+func (Rayleigh) Name() string { return "rayleigh-fading" }
+
+func (m Rayleigh) mean() Model {
+	if m.Mean == nil {
+		return FreeSpace{}
+	}
+	return m.Mean
+}
+
+// MeanPathLossDB implements Model. Note the mean of the dB-domain loss is
+// offset from the dB of the mean power; we report the underlying mean
+// model's loss, matching how Rayleigh channels are usually parameterized.
+func (m Rayleigh) MeanPathLossDB(d float64) float64 {
+	return m.mean().MeanPathLossDB(d)
+}
+
+// SamplePathLossDB implements Model.
+func (m Rayleigh) SamplePathLossDB(d float64, rng *rand.Rand) float64 {
+	pl := m.mean().SamplePathLossDB(d, rng)
+	if rng == nil {
+		return pl
+	}
+	gain := rng.ExpFloat64() // unit-mean power gain
+	if gain < 1e-12 {
+		gain = 1e-12
+	}
+	return pl - 10*math.Log10(gain)
+}
+
+// rayleighSigmaDB is the dB-domain standard deviation of -10*log10(E) for
+// E ~ Exp(1): (10/ln 10) * pi / sqrt(6).
+const rayleighSigmaDB = 5.5697
+
+// ShadowSigmaDB implements Model: the underlying mean model's sigma plus
+// the Rayleigh envelope's dB-domain spread, combined in quadrature.
+func (m Rayleigh) ShadowSigmaDB(d float64) float64 {
+	base := m.mean().ShadowSigmaDB(d)
+	return math.Sqrt(base*base + rayleighSigmaDB*rayleighSigmaDB)
+}

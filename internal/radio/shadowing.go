@@ -1,0 +1,67 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Shadowing is the log-normal shadowing model assumed by Chen [18],
+// Xiao [20] and Yu [19] (the CPVSAD baseline):
+//
+//	PL(d) = PL(d0) + 10*gamma*log10(d/d0) + X_sigma
+//
+// where X_sigma ~ N(0, sigma^2) and PL(d0) is free-space loss at the
+// reference distance d0.
+type Shadowing struct {
+	// FreqHz is the carrier frequency; zero means DSRCFrequencyHz.
+	FreqHz float64
+	// RefDistance d0 in meters; zero means 1 m.
+	RefDistance float64
+	// Exponent is the path-loss exponent gamma; zero means 2.7 (typical
+	// suburban value).
+	Exponent float64
+	// SigmaDB is the shadowing standard deviation; the CPVSAD baseline
+	// uses 3.9 dB (Section V-C).
+	SigmaDB float64
+}
+
+var _ Model = Shadowing{}
+
+// Name implements Model.
+func (Shadowing) Name() string { return "log-normal-shadowing" }
+
+func (m Shadowing) refDistance() float64 {
+	if m.RefDistance == 0 {
+		return 1
+	}
+	return m.RefDistance
+}
+
+func (m Shadowing) exponent() float64 {
+	if m.Exponent == 0 {
+		return 2.7
+	}
+	return m.Exponent
+}
+
+// MeanPathLossDB implements Model.
+func (m Shadowing) MeanPathLossDB(d float64) float64 {
+	d0 := m.refDistance()
+	if d < d0 {
+		d = d0
+	}
+	fs := FreeSpace{FreqHz: m.FreqHz, MinDistance: d0}
+	return fs.MeanPathLossDB(d0) + 10*m.exponent()*math.Log10(d/d0)
+}
+
+// SamplePathLossDB implements Model.
+func (m Shadowing) SamplePathLossDB(d float64, rng *rand.Rand) float64 {
+	pl := m.MeanPathLossDB(d)
+	if m.SigmaDB > 0 && rng != nil {
+		pl += m.SigmaDB * rng.NormFloat64()
+	}
+	return pl
+}
+
+// ShadowSigmaDB implements Model.
+func (m Shadowing) ShadowSigmaDB(float64) float64 { return m.SigmaDB }

@@ -1,0 +1,79 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TwoRayGround is the two-ray ground-reflection model assumed by Lv [16]:
+// free-space attenuation up to the crossover distance
+// d_c = 4*pi*ht*hr/lambda, and a fourth-power distance law beyond it.
+type TwoRayGround struct {
+	// FreqHz is the carrier frequency; zero means DSRCFrequencyHz.
+	FreqHz float64
+	// TxHeight and RxHeight are antenna heights in meters; zero means
+	// 1.5 m (rooftop antenna on a passenger car).
+	TxHeight, RxHeight float64
+	// MinDistance clamps the near field; zero means 1 m.
+	MinDistance float64
+}
+
+var _ Model = TwoRayGround{}
+
+// Name implements Model.
+func (TwoRayGround) Name() string { return "two-ray-ground" }
+
+func (m TwoRayGround) freq() float64 {
+	if m.FreqHz == 0 {
+		return DSRCFrequencyHz
+	}
+	return m.FreqHz
+}
+
+func (m TwoRayGround) minDistance() float64 {
+	if m.MinDistance == 0 {
+		return 1
+	}
+	return m.MinDistance
+}
+
+func (m TwoRayGround) heights() (ht, hr float64) {
+	ht, hr = m.TxHeight, m.RxHeight
+	if ht == 0 {
+		ht = 1.5
+	}
+	if hr == 0 {
+		hr = 1.5
+	}
+	return ht, hr
+}
+
+// CrossoverDistance returns d_c = 4*pi*ht*hr/lambda, where the model
+// switches from square-law to fourth-power attenuation.
+func (m TwoRayGround) CrossoverDistance() float64 {
+	ht, hr := m.heights()
+	return 4 * math.Pi * ht * hr / Wavelength(m.freq())
+}
+
+// MeanPathLossDB implements Model.
+func (m TwoRayGround) MeanPathLossDB(d float64) float64 {
+	if d < m.minDistance() {
+		d = m.minDistance()
+	}
+	dc := m.CrossoverDistance()
+	fs := FreeSpace{FreqHz: m.freq(), MinDistance: m.minDistance()}
+	if d <= dc {
+		return fs.MeanPathLossDB(d)
+	}
+	// Continuous continuation past the crossover: free-space loss at dc
+	// plus 40 dB/decade beyond (antenna heights enter through dc).
+	return fs.MeanPathLossDB(dc) + 40*math.Log10(d/dc)
+}
+
+// SamplePathLossDB implements Model; two-ray ground is deterministic.
+func (m TwoRayGround) SamplePathLossDB(d float64, _ *rand.Rand) float64 {
+	return m.MeanPathLossDB(d)
+}
+
+// ShadowSigmaDB implements Model; two-ray ground has no fading term.
+func (TwoRayGround) ShadowSigmaDB(float64) float64 { return 0 }

@@ -1,0 +1,9 @@
+// Package stats provides the small statistical substrate the Voiceprint
+// reproduction needs: descriptive statistics, ordinary least squares
+// regression, histograms, and the hypothesis tests used by Observation 1
+// (normality of RSSI distributions) and by the CPVSAD baseline (z-tests
+// against a shadowing model).
+//
+// Everything operates on plain []float64 and is deterministic; random
+// sampling helpers take an explicit *rand.Rand.
+package stats

@@ -1,0 +1,79 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Generator options produce synthetic RSSI-like series for tests, the DTW
+// accuracy experiment, and documentation examples.
+
+// GenSine returns a sinusoid with the given amplitude, period (in samples),
+// vertical offset, and additive Gaussian noise drawn from rng.
+func GenSine(n int, amplitude float64, periodSamples float64, offset, noiseStd float64, samplePeriod time.Duration, rng *rand.Rand) *Series {
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = offset + amplitude*math.Sin(2*math.Pi*float64(i)/periodSamples)
+		if noiseStd > 0 {
+			values[i] += noiseStd * rng.NormFloat64()
+		}
+	}
+	return FromValues(values, samplePeriod)
+}
+
+// GenRandomWalk returns a bounded random walk starting at start with steps
+// of standard deviation stepStd, clamped to [lo, hi]. RSSI traces from a
+// moving vehicle look like clipped random walks, which makes this the
+// standard synthetic input for DTW accuracy checks.
+func GenRandomWalk(n int, start, stepStd, lo, hi float64, samplePeriod time.Duration, rng *rand.Rand) *Series {
+	values := make([]float64, n)
+	v := start
+	for i := range values {
+		v += stepStd * rng.NormFloat64()
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		values[i] = v
+	}
+	return FromValues(values, samplePeriod)
+}
+
+// Drop returns a copy of s with each sample independently dropped with
+// probability p, simulating packet loss. The detector must cope with
+// series of unequal length, which is the paper's stated reason for DTW
+// over Euclidean distance.
+func Drop(s *Series, p float64, rng *rand.Rand) *Series {
+	out := New(s.Len())
+	for _, smp := range s.samples {
+		if rng.Float64() >= p {
+			out.samples = append(out.samples, smp)
+		}
+	}
+	return out
+}
+
+// Shift returns a copy of s with a constant dB offset added to every
+// sample, modelling a TX-power change (Assumption 3: a malicious node may
+// give each Sybil identity a different constant transmission power).
+func Shift(s *Series, offsetDB float64) *Series {
+	out := &Series{samples: make([]Sample, len(s.samples))}
+	for i, smp := range s.samples {
+		out.samples[i] = Sample{T: smp.T, RSSI: smp.RSSI + offsetDB}
+	}
+	return out
+}
+
+// Scale returns a copy of s with values scaled by factor around the series
+// mean, modelling antenna-gain differences between heterogeneous OBUs.
+func Scale(s *Series, factor float64) *Series {
+	mu := s.Mean()
+	out := &Series{samples: make([]Sample, len(s.samples))}
+	for i, smp := range s.samples {
+		out.samples[i] = Sample{T: smp.T, RSSI: mu + (smp.RSSI-mu)*factor}
+	}
+	return out
+}

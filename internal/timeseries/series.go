@@ -1,0 +1,205 @@
+// Package timeseries provides the RSSI time-series container and the two
+// normalizations the Voiceprint detector applies around DTW comparison:
+// the enhanced Z-score of Equation 7 (which removes per-identity TX-power
+// offsets) and the min-max normalization of Equation 8 (which maps a batch
+// of DTW distances into [0,1] before thresholding).
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"voiceprint/internal/stats"
+)
+
+// Sample is one timestamped RSSI observation. T is the offset from the
+// start of the observation window.
+type Sample struct {
+	T    time.Duration
+	RSSI float64 // dBm
+}
+
+// Series is an ordered sequence of RSSI samples recorded for a single
+// sender identity during one observation window. Samples must be
+// non-decreasing in time; packet loss shows up as gaps, which is why the
+// detector compares series with DTW rather than pointwise distance.
+type Series struct {
+	samples []Sample
+}
+
+// New returns an empty series with capacity for n samples.
+func New(n int) *Series {
+	return &Series{samples: make([]Sample, 0, n)}
+}
+
+// FromValues builds a series from evenly spaced values at the given period
+// starting at offset zero. It is the common constructor in tests and for
+// the paper's worked DTW example.
+func FromValues(values []float64, period time.Duration) *Series {
+	s := New(len(values))
+	for i, v := range values {
+		s.samples = append(s.samples, Sample{T: time.Duration(i) * period, RSSI: v})
+	}
+	return s
+}
+
+// Append adds a sample. It returns an error when t would go backwards in
+// time, which indicates a corrupted trace.
+func (s *Series) Append(t time.Duration, rssi float64) error {
+	if n := len(s.samples); n > 0 && t < s.samples[n-1].T {
+		return fmt.Errorf("timeseries: sample at %v precedes last sample at %v",
+			t, s.samples[n-1].T)
+	}
+	s.samples = append(s.samples, Sample{T: t, RSSI: rssi})
+	return nil
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Sample { return s.samples[i] }
+
+// Values returns a copy of the RSSI values in order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.samples))
+	for i, smp := range s.samples {
+		out[i] = smp.RSSI
+	}
+	return out
+}
+
+// Times returns a copy of the sample offsets in order.
+func (s *Series) Times() []time.Duration {
+	out := make([]time.Duration, len(s.samples))
+	for i, smp := range s.samples {
+		out[i] = smp.T
+	}
+	return out
+}
+
+// Duration returns the span from first to last sample, or 0 for series with
+// fewer than two samples.
+func (s *Series) Duration() time.Duration {
+	if len(s.samples) < 2 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1].T - s.samples[0].T
+}
+
+// Mean returns the mean RSSI of the series.
+func (s *Series) Mean() float64 { return stats.Mean(s.Values()) }
+
+// StdDev returns the population standard deviation of the series RSSI.
+func (s *Series) StdDev() float64 { return stats.StdDev(s.Values()) }
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	cp := &Series{samples: make([]Sample, len(s.samples))}
+	copy(cp.samples, s.samples)
+	return cp
+}
+
+// Window returns the sub-series of samples with T in [from, to). The
+// returned series is a copy.
+func (s *Series) Window(from, to time.Duration) *Series {
+	out := New(len(s.samples))
+	for _, smp := range s.samples {
+		if smp.T >= from && smp.T < to {
+			out.samples = append(out.samples, smp)
+		}
+	}
+	return out
+}
+
+// ErrTooShort is returned when a series has too few samples for an
+// operation (e.g. Z-score normalization of fewer than 2 samples).
+var ErrTooShort = errors.New("timeseries: series too short")
+
+// ZScoreNormalize applies the paper's enhanced Z-score (Equation 7):
+//
+//	RSSI' = (RSSI - mu) / (3 * sigma)
+//
+// which places ~99.7% of values of a normal sample inside (-1, 1) while
+// preserving the shape of the series. A constant series (sigma == 0)
+// normalizes to all zeros, since its shape carries no information.
+// The receiver is not modified; a new series is returned.
+func (s *Series) ZScoreNormalize() (*Series, error) {
+	if len(s.samples) < 2 {
+		return nil, ErrTooShort
+	}
+	mu := s.Mean()
+	sigma := s.StdDev()
+	out := &Series{samples: make([]Sample, len(s.samples))}
+	for i, smp := range s.samples {
+		v := 0.0
+		if sigma > 0 {
+			v = (smp.RSSI - mu) / (3 * sigma)
+		}
+		out.samples[i] = Sample{T: smp.T, RSSI: v}
+	}
+	return out, nil
+}
+
+// Resample produces an evenly spaced series at the given period over
+// [0, horizon) by nearest-neighbour lookup, holding the last seen value
+// across gaps. It is used by trace replay to regularize logs before
+// plotting; the detector itself works on raw (gappy) series.
+func (s *Series) Resample(period, horizon time.Duration) (*Series, error) {
+	if period <= 0 {
+		return nil, errors.New("timeseries: resample period must be positive")
+	}
+	if len(s.samples) == 0 {
+		return nil, ErrTooShort
+	}
+	n := int(horizon / period)
+	out := New(n)
+	j := 0
+	last := s.samples[0].RSSI
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * period
+		for j < len(s.samples) && s.samples[j].T <= t {
+			last = s.samples[j].RSSI
+			j++
+		}
+		out.samples = append(out.samples, Sample{T: t, RSSI: last})
+	}
+	return out, nil
+}
+
+// MinMaxNormalize maps xs into [0,1] by the paper's Equation 8:
+//
+//	x' = (x - min) / (max - min)
+//
+// When all values are equal the result is all zeros (the paper's
+// normalization is undefined there; zero is the conservative choice, as it
+// classifies every pair as maximally similar, which matches the situation
+// of a single repeated distance). It returns ErrEmptyBatch for an empty
+// input. NaN or Inf inputs return an error: they indicate an upstream bug.
+func MinMaxNormalize(xs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("timeseries: min-max input contains %v", x)
+		}
+	}
+	lo, hi, err := stats.MinMax(xs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	if hi == lo {
+		return out, nil
+	}
+	for i, x := range xs {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out, nil
+}
+
+// ErrEmptyBatch is returned by MinMaxNormalize for an empty input.
+var ErrEmptyBatch = errors.New("timeseries: empty batch")

@@ -1,0 +1,163 @@
+// Package trace provides persistence for RSSI reception logs (CSV and
+// JSON round trips, so runs can be recorded and replayed through the
+// detector offline, the way the paper's laptops logged the field tests)
+// and the scripted four-vehicle field-test scenarios of Sections III and
+// VI.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"voiceprint/internal/timeseries"
+	"voiceprint/internal/vanet"
+)
+
+// Record is one received beacon in a portable form.
+type Record struct {
+	Receiver vanet.NodeID  `json:"receiver"`
+	Sender   vanet.NodeID  `json:"sender"`
+	T        time.Duration `json:"t"`
+	RSSI     float64       `json:"rssi"`
+}
+
+// FromLog flattens one receiver's reception log into records sorted by
+// time then sender.
+func FromLog(log *vanet.ReceptionLog) []Record {
+	var out []Record
+	for sender, l := range log.PerIdentity {
+		for _, o := range l.Obs {
+			out = append(out, Record{
+				Receiver: log.Receiver,
+				Sender:   sender,
+				T:        o.T,
+				RSSI:     o.RSSI,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].Sender < out[j].Sender
+	})
+	return out
+}
+
+// ToSeries groups records (all assumed to belong to one receiver) into
+// per-sender RSSI series, the detector's input format.
+func ToSeries(records []Record) (map[vanet.NodeID]*timeseries.Series, error) {
+	sorted := make([]Record, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+	out := make(map[vanet.NodeID]*timeseries.Series)
+	for _, r := range sorted {
+		s := out[r.Sender]
+		if s == nil {
+			s = timeseries.New(64)
+			out[r.Sender] = s
+		}
+		if err := s.Append(r.T, r.RSSI); err != nil {
+			return nil, fmt.Errorf("trace: sender %d: %w", r.Sender, err)
+		}
+	}
+	return out, nil
+}
+
+// csvHeader is the canonical column layout.
+var csvHeader = []string{"receiver", "sender", "t_ms", "rssi_dbm"}
+
+// WriteCSV writes records with a header row.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range records {
+		row := []string{
+			strconv.FormatUint(uint64(r.Receiver), 10),
+			strconv.FormatUint(uint64(r.Sender), 10),
+			strconv.FormatInt(r.T.Milliseconds(), 10),
+			strconv.FormatFloat(r.RSSI, 'f', 3, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("trace: empty csv")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != csvHeader[0] {
+		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
+	}
+	out := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+2, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseRow(row []string) (Record, error) {
+	if len(row) != 4 {
+		return Record{}, fmt.Errorf("want 4 columns, got %d", len(row))
+	}
+	recv, err := strconv.ParseUint(row[0], 10, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("receiver: %w", err)
+	}
+	send, err := strconv.ParseUint(row[1], 10, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("sender: %w", err)
+	}
+	ms, err := strconv.ParseInt(row[2], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("t_ms: %w", err)
+	}
+	rssi, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("rssi: %w", err)
+	}
+	return Record{
+		Receiver: vanet.NodeID(recv),
+		Sender:   vanet.NodeID(send),
+		T:        time.Duration(ms) * time.Millisecond,
+		RSSI:     rssi,
+	}, nil
+}
+
+// WriteJSON writes records as a JSON array.
+func WriteJSON(w io.Writer, records []Record) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(records)
+}
+
+// ReadJSON parses records written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("trace: read json: %w", err)
+	}
+	return out, nil
+}

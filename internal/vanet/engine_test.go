@@ -1,0 +1,553 @@
+package vanet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+	"voiceprint/internal/gps"
+
+	"voiceprint/internal/mobility"
+	"voiceprint/internal/radio"
+)
+
+func testRadio() radio.Channel {
+	return radio.Static{Model: radio.DualSlope{Params: radio.HighwayParams}}
+}
+
+// twoCarNodes builds a sender/receiver pair dist meters apart, both
+// stationary.
+func twoCarNodes(t *testing.T, dist float64) []*Node {
+	t.Helper()
+	m1, err := mobility.Stationary(mobility.Position{X: 0, Y: 0}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := mobility.Stationary(mobility.Position{X: dist, Y: 0}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*Node{
+		{Mover: m1, Identities: []Identity{{ID: 1, TxPowerDBm: 20}}},
+		{Mover: m2, Identities: []Identity{{ID: 2, TxPowerDBm: 20}}},
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	nodes := twoCarNodes(t, 100)
+	if _, err := NewEngine(Config{}, nodes); err == nil {
+		t.Error("missing radio should error")
+	}
+	if _, err := NewEngine(Config{Radio: testRadio()}, nodes[:1]); err == nil {
+		t.Error("single node should error")
+	}
+	if _, err := NewEngine(Config{Radio: testRadio(), Observers: []int{5}}, nodes); err == nil {
+		t.Error("observer out of range should error")
+	}
+	dup := twoCarNodes(t, 100)
+	dup[1].Identities[0].ID = 1
+	if _, err := NewEngine(Config{Radio: testRadio()}, dup); err == nil {
+		t.Error("duplicate identity should error")
+	}
+	if _, err := NewEngine(Config{Radio: testRadio()}, nodes); err != nil {
+		t.Errorf("valid engine rejected: %v", err)
+	}
+}
+
+func TestNodeValidate(t *testing.T) {
+	m, err := mobility.Stationary(mobility.Position{}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		node Node
+		ok   bool
+	}{
+		{"normal", Node{Mover: m, Identities: []Identity{{ID: 1}}}, true},
+		{"no mover", Node{Identities: []Identity{{ID: 1}}}, false},
+		{"no identities", Node{Mover: m}, false},
+		{"normal with two ids", Node{Mover: m, Identities: []Identity{{ID: 1}, {ID: 2}}}, false},
+		{"normal with sybil id", Node{Mover: m, Identities: []Identity{{ID: 1, Sybil: true}}}, false},
+		{"malicious", Node{Mover: m, Malicious: true, Identities: []Identity{
+			{ID: 1}, {ID: 2, Sybil: true},
+		}}, true},
+		{"malicious with non-sybil extra", Node{Mover: m, Malicious: true, Identities: []Identity{
+			{ID: 1}, {ID: 2},
+		}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.node.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestEngineBeaconDelivery(t *testing.T) {
+	nodes := twoCarNodes(t, 100)
+	eng, err := NewEngine(Config{Radio: testRadio(), Seed: 91}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10 * time.Second)
+	log := eng.Logs()[1] // receiver node index 1
+	if log == nil {
+		t.Fatal("no log for observer 1")
+	}
+	l := log.PerIdentity[1]
+	if l == nil {
+		t.Fatal("receiver heard nothing from sender 1")
+	}
+	// 10 s at 10 Hz = 100 beacons; at 100 m nearly all should arrive.
+	if len(l.Obs) < 90 {
+		t.Errorf("received %d of 100 beacons at 100 m", len(l.Obs))
+	}
+	for _, o := range l.Obs {
+		if o.RSSI < radio.RXSensitivityDBm {
+			t.Fatalf("logged RSSI %v below sensitivity floor", o.RSSI)
+		}
+		if o.TrueDist != 100 {
+			t.Fatalf("true distance %v, want 100", o.TrueDist)
+		}
+		if o.ClaimedDist != 100 {
+			t.Fatalf("claimed distance %v, want 100 for honest identity", o.ClaimedDist)
+		}
+	}
+}
+
+func TestEngineOutOfRangeSilence(t *testing.T) {
+	nodes := twoCarNodes(t, 5000) // far beyond any reception range
+	eng, err := NewEngine(Config{Radio: testRadio(), Seed: 92}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(5 * time.Second)
+	log := eng.Logs()[1]
+	if len(log.PerIdentity) != 0 {
+		t.Error("receiver heard a node 5 km away")
+	}
+	if log.LostSensitivity == 0 {
+		t.Error("expected sensitivity losses to be counted")
+	}
+}
+
+func TestEngineSybilIdentitiesShareOrigin(t *testing.T) {
+	m1, err := mobility.Stationary(mobility.Position{X: 0, Y: 0}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := mobility.Stationary(mobility.Position{X: 150, Y: 0}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []*Node{
+		{Mover: m1, Malicious: true, Identities: []Identity{
+			{ID: 1, TxPowerDBm: 20},
+			{ID: 101, TxPowerDBm: 23, Sybil: true, ClaimedOffset: mobility.Position{X: 50}},
+			{ID: 102, TxPowerDBm: 17, Sybil: true, ClaimedOffset: mobility.Position{X: -50}},
+		}},
+		{Mover: m2, Identities: []Identity{{ID: 2, TxPowerDBm: 20}}},
+	}
+	eng, err := NewEngine(Config{Radio: testRadio(), Seed: 93, Observers: []int{1}}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(20 * time.Second)
+	log := eng.Logs()[1]
+	for _, id := range []NodeID{1, 101, 102} {
+		l := log.PerIdentity[id]
+		if l == nil || len(l.Obs) < 150 {
+			t.Fatalf("identity %d under-received", id)
+		}
+		// All three identities transmit from the same physical radio.
+		if l.Obs[0].TrueDist != 150 {
+			t.Errorf("identity %d true dist %v, want 150", id, l.Obs[0].TrueDist)
+		}
+	}
+	// Claimed distances differ per identity.
+	if log.PerIdentity[101].Obs[0].ClaimedDist == log.PerIdentity[1].Obs[0].ClaimedDist {
+		t.Error("Sybil claimed distance should differ from the attacker's")
+	}
+	// Mean RSSI should reflect per-identity TX power: 101 (+3 dB) above 1,
+	// 102 (-3 dB) below 1.
+	mean := func(id NodeID) float64 {
+		var sum float64
+		obs := log.PerIdentity[id].Obs
+		for _, o := range obs {
+			sum += o.RSSI
+		}
+		return sum / float64(len(obs))
+	}
+	if !(mean(101) > mean(1) && mean(1) > mean(102)) {
+		t.Errorf("TX power ordering violated: mean(101)=%v mean(1)=%v mean(102)=%v",
+			mean(101), mean(1), mean(102))
+	}
+
+	truth := eng.Truth()
+	if !truth.Sybil[101] || !truth.Sybil[102] {
+		t.Error("truth should mark 101, 102 as Sybil")
+	}
+	if !truth.Malicious[1] {
+		t.Error("truth should mark 1 as malicious")
+	}
+	if truth.Illegitimate(2) {
+		t.Error("normal node 2 should be legitimate")
+	}
+	if !truth.Illegitimate(101) || !truth.Illegitimate(1) {
+		t.Error("Sybil and malicious identities are illegitimate")
+	}
+}
+
+func TestEngineDefaultObserversExcludeMalicious(t *testing.T) {
+	m1, err := mobility.Stationary(mobility.Position{X: 0}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := mobility.Stationary(mobility.Position{X: 50}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []*Node{
+		{Mover: m1, Malicious: true, Identities: []Identity{
+			{ID: 1}, {ID: 101, Sybil: true},
+		}},
+		{Mover: m2, Identities: []Identity{{ID: 2}}},
+	}
+	eng, err := NewEngine(Config{Radio: testRadio(), Seed: 94}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Logs()) != 1 {
+		t.Fatalf("expected 1 default observer, got %d", len(eng.Logs()))
+	}
+	if _, ok := eng.Logs()[1]; !ok {
+		t.Error("the normal node should be the default observer")
+	}
+}
+
+func TestIdentityLogSeriesAndWindow(t *testing.T) {
+	l := &IdentityLog{Obs: []Obs{
+		{T: 0, RSSI: -70},
+		{T: time.Second, RSSI: -71},
+		{T: 2 * time.Second, RSSI: -72},
+	}}
+	s := l.Series(0, 1500*time.Millisecond)
+	if s.Len() != 2 {
+		t.Errorf("series len = %d, want 2", s.Len())
+	}
+	w := l.Window(time.Second, 3*time.Second)
+	if len(w) != 2 || w[0].RSSI != -71 {
+		t.Errorf("window = %v", w)
+	}
+}
+
+func TestReceptionLogHeardIDs(t *testing.T) {
+	log := &ReceptionLog{PerIdentity: map[NodeID]*IdentityLog{
+		1: {Obs: []Obs{{T: time.Second}}},
+		2: {Obs: []Obs{{T: time.Minute}}},
+	}}
+	ids := log.HeardIDs(0, 10*time.Second)
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("HeardIDs = %v, want [1]", ids)
+	}
+}
+
+func TestBuildHighwayNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	cfg := DefaultScenario(50)
+	nodes, err := BuildHighwayNodes(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 100 { // 50 vhls/km * 2 km
+		t.Fatalf("got %d vehicles, want 100", len(nodes))
+	}
+	nMal := 0
+	ids := make(map[NodeID]bool)
+	for _, n := range nodes {
+		if err := n.Validate(); err != nil {
+			t.Fatalf("invalid node: %v", err)
+		}
+		if n.Malicious {
+			nMal++
+			nSybil := len(n.Identities) - 1
+			if nSybil < cfg.SybilMin || nSybil > cfg.SybilMax {
+				t.Errorf("attacker has %d Sybil identities, want %d-%d",
+					nSybil, cfg.SybilMin, cfg.SybilMax)
+			}
+		}
+		for _, id := range n.Identities {
+			if ids[id.ID] {
+				t.Fatalf("duplicate identity %d", id.ID)
+			}
+			ids[id.ID] = true
+			if id.TxPowerDBm < cfg.TxPowerMinDBm || id.TxPowerDBm > cfg.TxPowerMaxDBm {
+				t.Errorf("TX power %v outside [%v, %v]",
+					id.TxPowerDBm, cfg.TxPowerMinDBm, cfg.TxPowerMaxDBm)
+			}
+		}
+	}
+	if nMal != 5 { // 5% of 100
+		t.Errorf("got %d attackers, want 5", nMal)
+	}
+}
+
+func TestBuildHighwayNodesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	bad := DefaultScenario(0.4) // < 2 vehicles
+	if _, err := BuildHighwayNodes(bad, rng); err == nil {
+		t.Error("sub-2-vehicle density should error")
+	}
+	inv := DefaultScenario(50)
+	inv.SybilMin = 0
+	if _, err := BuildHighwayNodes(inv, rng); err == nil {
+		t.Error("SybilMin 0 should error")
+	}
+	inv2 := DefaultScenario(50)
+	inv2.TxPowerMaxDBm = 10
+	if _, err := BuildHighwayNodes(inv2, rng); err == nil {
+		t.Error("inverted TX power range should error")
+	}
+	inv3 := DefaultScenario(50)
+	inv3.MaliciousFraction = 1.5
+	if _, err := BuildHighwayNodes(inv3, rng); err == nil {
+		t.Error("malicious fraction > 1 should error")
+	}
+}
+
+func TestSampleObservers(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	nodes, err := BuildHighwayNodes(DefaultScenario(30), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := SampleObservers(nodes, 10, rng)
+	if len(obs) != 10 {
+		t.Fatalf("got %d observers, want 10", len(obs))
+	}
+	for _, idx := range obs {
+		if nodes[idx].Malicious {
+			t.Error("observer must not be malicious")
+		}
+	}
+	all := SampleObservers(nodes, 0, rng)
+	wantNormal := 0
+	for _, n := range nodes {
+		if !n.Malicious {
+			wantNormal++
+		}
+	}
+	if len(all) != wantNormal {
+		t.Errorf("k=0 should return all %d normal nodes, got %d", wantNormal, len(all))
+	}
+}
+
+func TestEngineCollisionLossGrowsWithIdentities(t *testing.T) {
+	// Crowd the carrier-sense range and verify collision losses appear.
+	var nodes []*Node
+	for i := 0; i < 60; i++ {
+		m, err := mobility.Stationary(mobility.Position{X: float64(i * 10)}, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, &Node{
+			Mover:      m,
+			Identities: []Identity{{ID: NodeID(i + 1), TxPowerDBm: 20}},
+		})
+	}
+	eng, err := NewEngine(Config{Radio: testRadio(), Seed: 98, Observers: []int{30}}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(5 * time.Second)
+	log := eng.Logs()[30]
+	if log.LostCollision == 0 {
+		t.Error("expected some collision losses with 60 nodes in CS range")
+	}
+	if len(log.PerIdentity) < 40 {
+		t.Errorf("observer heard only %d identities", len(log.PerIdentity))
+	}
+}
+
+// TestShadowFreezesWhenStationary pins the geometry-driven shadowing that
+// produces the paper's red-light false positive: a static link's RSSI
+// variance is only measurement noise, while a moving link's includes the
+// evolving shadow.
+func TestShadowFreezesWhenStationary(t *testing.T) {
+	staticNodes := twoCarNodes(t, 150)
+	engStatic, err := NewEngine(Config{Radio: testRadio(), Seed: 99, Observers: []int{1}}, staticNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engStatic.Run(30 * time.Second)
+	staticSeries := engStatic.Logs()[1].PerIdentity[1].Series(0, 30*time.Second)
+
+	mover, err := mobility.ConstantVelocity(mobility.Position{X: 0}, 20, 0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxm, err := mobility.Stationary(mobility.Position{X: 600, Y: 0}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movingNodes := []*Node{
+		{Mover: mover, Identities: []Identity{{ID: 1, TxPowerDBm: 20}}},
+		{Mover: rxm, Identities: []Identity{{ID: 2, TxPowerDBm: 20}}},
+	}
+	engMoving, err := NewEngine(Config{Radio: testRadio(), Seed: 99, Observers: []int{1}}, movingNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engMoving.Run(30 * time.Second)
+	movingSeries := engMoving.Logs()[1].PerIdentity[1].Series(0, 30*time.Second)
+
+	if staticSeries.Len() < 100 || movingSeries.Len() < 100 {
+		t.Fatalf("series too short: %d / %d", staticSeries.Len(), movingSeries.Len())
+	}
+	// Static link variance ~ NoiseDB (1 dB); moving link adds shadow and
+	// trend.
+	if sd := staticSeries.StdDev(); sd > 2 {
+		t.Errorf("static link std = %.2f dB, want ~1 (noise only)", sd)
+	}
+	if sd := movingSeries.StdDev(); sd < 2.5 {
+		t.Errorf("moving link std = %.2f dB, want > 2.5 (shadow + trend)", sd)
+	}
+}
+
+func TestTruthSybilPair(t *testing.T) {
+	truth := Truth{
+		Owner: map[NodeID]NodeID{1: 1, 101: 1, 102: 1, 2: 2},
+	}
+	if !truth.SybilPair(1, 101) || !truth.SybilPair(101, 102) {
+		t.Error("identities of one radio should be a Sybil pair")
+	}
+	if truth.SybilPair(1, 2) {
+		t.Error("different radios should not pair")
+	}
+	if truth.SybilPair(1, 1) {
+		t.Error("identity with itself is not a pair")
+	}
+	if truth.SybilPair(1, 999) {
+		t.Error("unknown identity should not pair")
+	}
+}
+
+// TestEngineGPSError verifies that enabling the GPS model perturbs claimed
+// distances (but not true distances or RSSI physics).
+func TestEngineGPSError(t *testing.T) {
+	build := func(withGPS bool) *ReceptionLog {
+		nodes := twoCarNodes(t, 100)
+		cfg := Config{Radio: testRadio(), Seed: 200, Observers: []int{1}}
+		if withGPS {
+			cfg.GPS = &gps.Params{}
+		}
+		eng, err := NewEngine(cfg, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(10 * time.Second)
+		return eng.Logs()[1]
+	}
+	perfect := build(false)
+	noisy := build(true)
+	for _, o := range perfect.PerIdentity[1].Obs {
+		if o.ClaimedDist != 100 {
+			t.Fatalf("perfect GPS claimed dist %v, want 100", o.ClaimedDist)
+		}
+	}
+	var deviated bool
+	var maxDev float64
+	for _, o := range noisy.PerIdentity[1].Obs {
+		dev := o.ClaimedDist - 100
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > 0.01 {
+			deviated = true
+		}
+		if dev > maxDev {
+			maxDev = dev
+		}
+		if o.TrueDist != 100 {
+			t.Fatal("GPS must not affect true distance")
+		}
+	}
+	if !deviated {
+		t.Error("GPS model left claimed distances exact")
+	}
+	if maxDev > 15 {
+		t.Errorf("GPS error %v m implausibly large", maxDev)
+	}
+}
+
+// TestEngineDeterminism: identical configuration and seed must reproduce
+// identical reception logs — every experiment's reproducibility rests on
+// this.
+func TestEngineDeterminism(t *testing.T) {
+	build := func() *ReceptionLog {
+		rng := rand.New(rand.NewSource(300))
+		nodes, err := BuildHighwayNodes(DefaultScenario(20), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(Config{Radio: testRadio(), Seed: 301, Observers: []int{0}}, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(10 * time.Second)
+		return eng.Logs()[0]
+	}
+	a := build()
+	b := build()
+	if len(a.PerIdentity) != len(b.PerIdentity) {
+		t.Fatalf("heard %d vs %d identities", len(a.PerIdentity), len(b.PerIdentity))
+	}
+	for id, la := range a.PerIdentity {
+		lb := b.PerIdentity[id]
+		if lb == nil || len(la.Obs) != len(lb.Obs) {
+			t.Fatalf("identity %d: log shape differs", id)
+		}
+		for i := range la.Obs {
+			if la.Obs[i] != lb.Obs[i] {
+				t.Fatalf("identity %d obs %d: %+v != %+v", id, i, la.Obs[i], lb.Obs[i])
+			}
+		}
+	}
+	if a.LostCollision != b.LostCollision || a.LostSensitivity != b.LostSensitivity {
+		t.Error("loss counters differ across identical runs")
+	}
+}
+
+func TestPowerControlNext(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	jit := &PowerControl{JitterDB: 2}
+	for i := 0; i < 1000; i++ {
+		off := jit.Next(rng)
+		if off < -2 || off > 2 {
+			t.Fatalf("jitter %v outside +-2", off)
+		}
+	}
+	walk := &PowerControl{WalkStepDB: 1, WalkClampDB: 3}
+	var maxAbs float64
+	for i := 0; i < 5000; i++ {
+		off := walk.Next(rng)
+		if off < -3 || off > 3 {
+			t.Fatalf("walk %v outside clamp", off)
+		}
+		if off > maxAbs {
+			maxAbs = off
+		}
+	}
+	if maxAbs < 2 {
+		t.Errorf("walk never approached its clamp (max %v)", maxAbs)
+	}
+	// Default clamp applies when unset.
+	d := &PowerControl{WalkStepDB: 10}
+	for i := 0; i < 100; i++ {
+		if off := d.Next(rng); off < -6 || off > 6 {
+			t.Fatalf("default clamp violated: %v", off)
+		}
+	}
+}

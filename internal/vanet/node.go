@@ -1,0 +1,224 @@
+// Package vanet ties the substrates together into a discrete-time VANET
+// simulation: vehicles (normal and malicious) move per a mobility model,
+// broadcast DSRC beacons for every identity they hold (malicious nodes
+// broadcast for each fabricated Sybil identity too, at 10n packets/s per
+// Assumption 2), and observer vehicles log per-identity RSSI time series
+// through the radio and channel models. The logs are exactly what the
+// Voiceprint detector (internal/core) and the CPVSAD baseline
+// (internal/baseline) consume.
+package vanet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"voiceprint/internal/mobility"
+	"voiceprint/internal/timeseries"
+)
+
+// NodeID identifies one broadcast identity (not one physical radio: a
+// malicious node holds several).
+type NodeID uint32
+
+// Identity is one broadcast identity held by a physical node.
+type Identity struct {
+	// ID is the identity's claimed node ID.
+	ID NodeID
+	// TxPowerDBm is the constant transmission power used for this
+	// identity's beacons (Assumption 3: per-identity constant, possibly
+	// different across identities).
+	TxPowerDBm float64
+	// ClaimedOffset displaces the claimed position from the physical
+	// node's true position. Zero for honest identities; Sybil identities
+	// claim false locations.
+	ClaimedOffset mobility.Position
+	// Sybil marks fabricated identities.
+	Sybil bool
+	// Power optionally varies this identity's TX power per beacon — the
+	// "smart attack with power control" the paper's Section VII names as
+	// future work and admits Voiceprint cannot handle (the Equation 7
+	// Z-score removes only *constant* offsets). Nil means constant power.
+	Power *PowerControl
+}
+
+// PowerControl modulates an identity's transmit power per beacon.
+type PowerControl struct {
+	// JitterDB draws an i.i.d. uniform offset in [-JitterDB, +JitterDB]
+	// each beacon.
+	JitterDB float64
+	// WalkStepDB adds a random-walk component with this per-beacon step,
+	// clamped to +-WalkClampDB.
+	WalkStepDB  float64
+	WalkClampDB float64
+
+	walk float64
+}
+
+// Next returns the next beacon's power offset in dB.
+func (p *PowerControl) Next(rng *rand.Rand) float64 {
+	var off float64
+	if p.JitterDB > 0 {
+		off += (rng.Float64()*2 - 1) * p.JitterDB
+	}
+	if p.WalkStepDB > 0 {
+		p.walk += p.WalkStepDB * rng.NormFloat64()
+		clamp := p.WalkClampDB
+		if clamp <= 0 {
+			clamp = 6
+		}
+		if p.walk > clamp {
+			p.walk = clamp
+		}
+		if p.walk < -clamp {
+			p.walk = -clamp
+		}
+		off += p.walk
+	}
+	return off
+}
+
+// Node is one physical vehicle with a radio.
+type Node struct {
+	// Mover drives the vehicle's true position.
+	Mover mobility.Mover
+	// Identities are the identities this radio broadcasts for. A normal
+	// node has exactly one; a malicious node has its own plus its Sybil
+	// identities.
+	Identities []Identity
+	// RxGainDBi is the receive antenna gain.
+	RxGainDBi float64
+	// Malicious marks a Sybil attacker.
+	Malicious bool
+}
+
+// Validate checks the node's shape.
+func (n *Node) Validate() error {
+	if n.Mover == nil {
+		return errors.New("vanet: node needs a mover")
+	}
+	if len(n.Identities) == 0 {
+		return errors.New("vanet: node needs at least one identity")
+	}
+	if !n.Malicious {
+		if len(n.Identities) != 1 {
+			return fmt.Errorf("vanet: normal node has %d identities, want 1", len(n.Identities))
+		}
+		if n.Identities[0].Sybil {
+			return errors.New("vanet: normal node cannot hold a Sybil identity")
+		}
+	}
+	if n.Malicious && !n.Identities[0].Sybil {
+		for _, id := range n.Identities[1:] {
+			if !id.Sybil {
+				return errors.New("vanet: malicious node's extra identities must be Sybil")
+			}
+		}
+	}
+	return nil
+}
+
+// OwnID returns the node's primary (physical) identity.
+func (n *Node) OwnID() NodeID { return n.Identities[0].ID }
+
+// Obs is one received beacon observation at a receiver.
+type Obs struct {
+	// T is the simulation time of reception.
+	T time.Duration
+	// RSSI is the logged received signal strength (dBm, clipped at the RX
+	// sensitivity floor).
+	RSSI float64
+	// ClaimedDist is the distance from the receiver to the sender's
+	// *claimed* position, which position-verification baselines test
+	// against the RSSI.
+	ClaimedDist float64
+	// TrueDist is the ground-truth distance to the physical transmitter,
+	// kept for diagnostics and experiments (never given to detectors).
+	TrueDist float64
+}
+
+// IdentityLog is everything one receiver heard from one identity.
+type IdentityLog struct {
+	Obs []Obs
+}
+
+// Series converts the log's RSSI values in [from, to) into a time series
+// for the detector.
+func (l *IdentityLog) Series(from, to time.Duration) *timeseries.Series {
+	s := timeseries.New(len(l.Obs))
+	for _, o := range l.Obs {
+		if o.T >= from && o.T < to {
+			// Appending in log order keeps time monotone; ignore the
+			// impossible error.
+			_ = s.Append(o.T, o.RSSI)
+		}
+	}
+	return s
+}
+
+// Window returns the observations in [from, to).
+func (l *IdentityLog) Window(from, to time.Duration) []Obs {
+	out := make([]Obs, 0, len(l.Obs))
+	for _, o := range l.Obs {
+		if o.T >= from && o.T < to {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// ReceptionLog is one observer's complete view of the network.
+type ReceptionLog struct {
+	// Receiver is the observing node's own identity.
+	Receiver NodeID
+	// PerIdentity maps heard identity -> its log.
+	PerIdentity map[NodeID]*IdentityLog
+	// LostSensitivity and LostCollision count dropped beacons, for
+	// diagnostics.
+	LostSensitivity, LostCollision int
+}
+
+// HeardIDs returns the identities with at least one observation in
+// [from, to).
+func (r *ReceptionLog) HeardIDs(from, to time.Duration) []NodeID {
+	ids := make([]NodeID, 0, len(r.PerIdentity))
+	for id, l := range r.PerIdentity {
+		for _, o := range l.Obs {
+			if o.T >= from && o.T < to {
+				ids = append(ids, id)
+				break
+			}
+		}
+	}
+	return ids
+}
+
+// Truth is the simulation's ground truth, used only for scoring.
+type Truth struct {
+	// Sybil holds the fabricated identities.
+	Sybil map[NodeID]bool
+	// Malicious holds the attackers' own (physical) identities.
+	Malicious map[NodeID]bool
+	// Owner maps every identity to its physical radio's primary identity.
+	Owner map[NodeID]NodeID
+}
+
+// Illegitimate reports whether an identity counts against the detection
+// rate denominator (Equation 10 counts malicious and Sybil identities).
+func (t Truth) Illegitimate(id NodeID) bool {
+	return t.Sybil[id] || t.Malicious[id]
+}
+
+// SybilPair reports whether two distinct identities share one physical
+// transmitter — the ground-truth label of the Figure 10 training data
+// (red dots: "DTW distance between two Sybil nodes forged by the same
+// malicious node").
+func (t Truth) SybilPair(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	oa, oka := t.Owner[a]
+	ob, okb := t.Owner[b]
+	return oka && okb && oa == ob
+}

@@ -1,0 +1,164 @@
+package vanet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"voiceprint/internal/mobility"
+)
+
+// ScenarioConfig describes the Section V highway simulation (Table V).
+type ScenarioConfig struct {
+	// Highway geometry; zero value means mobility.DefaultHighway().
+	Highway mobility.Highway
+	// Epoch mobility parameters; zero value means
+	// mobility.DefaultEpochParams().
+	Epoch mobility.EpochParams
+	// DensityPerKm is the vehicle density counting both directions
+	// (Table V: 10-100 vhls/km on the 2 km highway -> 20-200 vehicles).
+	DensityPerKm float64
+	// MaliciousFraction of vehicles are Sybil attackers (paper: 5%).
+	MaliciousFraction float64
+	// SybilMin and SybilMax bound the fabricated identities per attacker
+	// (paper: 3-6).
+	SybilMin, SybilMax int
+	// TxPowerMinDBm and TxPowerMaxDBm bound each identity's constant
+	// transmission power (Table V: 17-23 dBm).
+	TxPowerMinDBm, TxPowerMaxDBm float64
+	// RxGainDBi is every receiver's antenna gain.
+	RxGainDBi float64
+	// SybilMinOffsetM and SybilMaxOffsetM bound the magnitude of a Sybil
+	// identity's false claimed-position offset along the road: a claimed
+	// position must differ enough from the attacker's to matter for the
+	// attack.
+	SybilMinOffsetM, SybilMaxOffsetM float64
+}
+
+// DefaultScenario returns the Table V setup at the given density.
+func DefaultScenario(densityPerKm float64) ScenarioConfig {
+	return ScenarioConfig{
+		Highway:           mobility.DefaultHighway(),
+		Epoch:             mobility.DefaultEpochParams(),
+		DensityPerKm:      densityPerKm,
+		MaliciousFraction: 0.05,
+		SybilMin:          3,
+		SybilMax:          6,
+		TxPowerMinDBm:     17,
+		TxPowerMaxDBm:     23,
+		SybilMinOffsetM:   30,
+		SybilMaxOffsetM:   150,
+	}
+}
+
+// Validate checks the scenario.
+func (c ScenarioConfig) Validate() error {
+	if err := c.Highway.Validate(); err != nil {
+		return err
+	}
+	if err := c.Epoch.Validate(); err != nil {
+		return err
+	}
+	if c.DensityPerKm <= 0 {
+		return errors.New("vanet: density must be positive")
+	}
+	if c.MaliciousFraction < 0 || c.MaliciousFraction > 1 {
+		return errors.New("vanet: malicious fraction must be in [0,1]")
+	}
+	if c.SybilMin < 1 || c.SybilMax < c.SybilMin {
+		return errors.New("vanet: need 1 <= SybilMin <= SybilMax")
+	}
+	if c.TxPowerMaxDBm < c.TxPowerMinDBm {
+		return errors.New("vanet: TX power range inverted")
+	}
+	if c.SybilMinOffsetM < 0 || c.SybilMaxOffsetM < c.SybilMinOffsetM {
+		return errors.New("vanet: need 0 <= SybilMinOffsetM <= SybilMaxOffsetM")
+	}
+	return nil
+}
+
+// sybilIDBase separates fabricated identity numbers from physical ones.
+const sybilIDBase NodeID = 10000
+
+// BuildHighwayNodes realizes a random highway population: vehicle count
+// from density, uniform placement, a MaliciousFraction of attackers each
+// fabricating SybilMin..SybilMax identities with independent TX powers and
+// false claimed-position offsets.
+func BuildHighwayNodes(c ScenarioConfig, rng *rand.Rand) ([]*Node, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	nVehicles := int(c.DensityPerKm * c.Highway.Length / 1000)
+	if nVehicles < 2 {
+		return nil, fmt.Errorf("vanet: density %v yields %d vehicles, need >= 2",
+			c.DensityPerKm, nVehicles)
+	}
+	nMalicious := int(float64(nVehicles) * c.MaliciousFraction)
+	cars, err := mobility.PlaceUniform(c.Highway, c.Epoch, nVehicles, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Malicious roles are assigned to a random subset.
+	malicious := make(map[int]bool, nMalicious)
+	for len(malicious) < nMalicious {
+		malicious[rng.Intn(nVehicles)] = true
+	}
+	txPower := func() float64 {
+		return c.TxPowerMinDBm + rng.Float64()*(c.TxPowerMaxDBm-c.TxPowerMinDBm)
+	}
+	nodes := make([]*Node, 0, nVehicles)
+	nextSybil := sybilIDBase
+	for i, car := range cars {
+		n := &Node{
+			Mover:     car,
+			RxGainDBi: c.RxGainDBi,
+			Malicious: malicious[i],
+			Identities: []Identity{{
+				ID:         NodeID(i + 1),
+				TxPowerDBm: txPower(),
+			}},
+		}
+		if n.Malicious {
+			count := c.SybilMin
+			if c.SybilMax > c.SybilMin {
+				count += rng.Intn(c.SybilMax - c.SybilMin + 1)
+			}
+			for s := 0; s < count; s++ {
+				offX := c.SybilMinOffsetM + rng.Float64()*(c.SybilMaxOffsetM-c.SybilMinOffsetM)
+				if rng.Float64() < 0.5 {
+					offX = -offX
+				}
+				offY := (rng.Float64()*2 - 1) * c.Highway.LaneWidth * float64(c.Highway.LanesPerDirection)
+				n.Identities = append(n.Identities, Identity{
+					ID:            nextSybil,
+					TxPowerDBm:    txPower(),
+					ClaimedOffset: mobility.Position{X: offX, Y: offY},
+					Sybil:         true,
+				})
+				nextSybil++
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
+
+// SampleObservers picks up to k normal-node indices uniformly at random to
+// act as recording receivers (the memory/time substitution in DESIGN.md:
+// metrics average over a sample of receivers rather than all of them).
+func SampleObservers(nodes []*Node, k int, rng *rand.Rand) []int {
+	normal := make([]int, 0, len(nodes))
+	for i, n := range nodes {
+		if !n.Malicious {
+			normal = append(normal, i)
+		}
+	}
+	if k <= 0 || k >= len(normal) {
+		return normal
+	}
+	rng.Shuffle(len(normal), func(i, j int) { normal[i], normal[j] = normal[j], normal[i] })
+	picked := normal[:k]
+	out := make([]int, k)
+	copy(out, picked)
+	return out
+}

@@ -1,0 +1,129 @@
+// Package wsmp implements a compact wire format for the safety beacons of
+// the paper's testbed: "Each vehicle adopts WAVE Short Message Protocol
+// (WSMP) ... to send single-hop broadcast with its identity, GPS
+// coordinates, direction and velocity" (Section III-B). The codec is what
+// a real deployment would put on the 500-byte CCH beacons of Table III;
+// the trace tooling uses it to serialize beacon payloads.
+//
+// Layout (big endian, fixed 34 bytes + padding to PayloadSize):
+//
+//	offset size field
+//	0      2    magic 0x5657 ("VW")
+//	2      1    version (1)
+//	3      1    flags (reserved)
+//	4      4    identity (uint32)
+//	8      8    timestamp, ns since epoch (int64)
+//	16     4    x position, cm (int32)
+//	20     4    y position, cm (int32)
+//	24     2    speed, cm/s (uint16)
+//	26     2    heading, centidegrees 0..35999 (uint16)
+//	28     2    acceleration, cm/s^2 + 32768 (uint16)
+//	30     4    CRC32 (IEEE) of bytes [0, 30)
+package wsmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+)
+
+const (
+	magic      = 0x5657
+	version    = 1
+	headerSize = 34
+	// PayloadSize is the padded on-air beacon body (Table III: 500-byte
+	// packets; the rest of the payload carries application TLVs we do not
+	// model).
+	PayloadSize = 500
+)
+
+// Beacon is the decoded safety-message content.
+type Beacon struct {
+	// ID is the sender's claimed identity.
+	ID uint32
+	// Timestamp is the GPS-disciplined send time.
+	Timestamp time.Time
+	// X, Y are the claimed planar coordinates in meters.
+	X, Y float64
+	// SpeedMS is the claimed speed in m/s.
+	SpeedMS float64
+	// HeadingDeg is the claimed heading in degrees [0, 360).
+	HeadingDeg float64
+	// AccelMS2 is the claimed acceleration in m/s^2.
+	AccelMS2 float64
+}
+
+// Codec errors.
+var (
+	ErrShortBuffer = errors.New("wsmp: buffer too short")
+	ErrBadMagic    = errors.New("wsmp: bad magic")
+	ErrBadVersion  = errors.New("wsmp: unsupported version")
+	ErrBadCRC      = errors.New("wsmp: checksum mismatch")
+	ErrFieldRange  = errors.New("wsmp: field out of range")
+)
+
+// Validate checks the encodable range of every field.
+func (b *Beacon) Validate() error {
+	if math.Abs(b.X) > math.MaxInt32/100 || math.Abs(b.Y) > math.MaxInt32/100 {
+		return fmt.Errorf("%w: position (%v, %v)", ErrFieldRange, b.X, b.Y)
+	}
+	if b.SpeedMS < 0 || b.SpeedMS > math.MaxUint16/100 {
+		return fmt.Errorf("%w: speed %v", ErrFieldRange, b.SpeedMS)
+	}
+	if b.HeadingDeg < 0 || b.HeadingDeg >= 360 {
+		return fmt.Errorf("%w: heading %v", ErrFieldRange, b.HeadingDeg)
+	}
+	if math.Abs(b.AccelMS2) > 300 {
+		return fmt.Errorf("%w: acceleration %v", ErrFieldRange, b.AccelMS2)
+	}
+	return nil
+}
+
+// Marshal encodes the beacon into a PayloadSize-byte slice.
+func (b *Beacon) Marshal() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, PayloadSize)
+	binary.BigEndian.PutUint16(buf[0:], magic)
+	buf[2] = version
+	buf[3] = 0
+	binary.BigEndian.PutUint32(buf[4:], b.ID)
+	binary.BigEndian.PutUint64(buf[8:], uint64(b.Timestamp.UnixNano()))
+	binary.BigEndian.PutUint32(buf[16:], uint32(int32(math.Round(b.X*100))))
+	binary.BigEndian.PutUint32(buf[20:], uint32(int32(math.Round(b.Y*100))))
+	binary.BigEndian.PutUint16(buf[24:], uint16(math.Round(b.SpeedMS*100)))
+	binary.BigEndian.PutUint16(buf[26:], uint16(math.Round(b.HeadingDeg*100)))
+	binary.BigEndian.PutUint16(buf[28:], uint16(math.Round(b.AccelMS2*100))+32768)
+	binary.BigEndian.PutUint32(buf[30:], crc32.ChecksumIEEE(buf[:30]))
+	return buf, nil
+}
+
+// Unmarshal decodes a beacon, verifying magic, version and checksum.
+func Unmarshal(buf []byte) (*Beacon, error) {
+	if len(buf) < headerSize {
+		return nil, ErrShortBuffer
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != magic {
+		return nil, ErrBadMagic
+	}
+	if buf[2] != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	if binary.BigEndian.Uint32(buf[30:]) != crc32.ChecksumIEEE(buf[:30]) {
+		return nil, ErrBadCRC
+	}
+	b := &Beacon{
+		ID:         binary.BigEndian.Uint32(buf[4:]),
+		Timestamp:  time.Unix(0, int64(binary.BigEndian.Uint64(buf[8:]))),
+		X:          float64(int32(binary.BigEndian.Uint32(buf[16:]))) / 100,
+		Y:          float64(int32(binary.BigEndian.Uint32(buf[20:]))) / 100,
+		SpeedMS:    float64(binary.BigEndian.Uint16(buf[24:])) / 100,
+		HeadingDeg: float64(binary.BigEndian.Uint16(buf[26:])) / 100,
+		AccelMS2:   (float64(binary.BigEndian.Uint16(buf[28:])) - 32768) / 100,
+	}
+	return b, nil
+}

@@ -1,0 +1,138 @@
+package wsmp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sample() *Beacon {
+	return &Beacon{
+		ID:         42,
+		Timestamp:  time.Unix(1700000000, 123456789),
+		X:          1234.56,
+		Y:          -7.2,
+		SpeedMS:    25.5,
+		HeadingDeg: 359.99,
+		AccelMS2:   -2.5,
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	in := sample()
+	buf, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != PayloadSize {
+		t.Fatalf("payload size %d, want %d", len(buf), PayloadSize)
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID {
+		t.Errorf("ID %d != %d", out.ID, in.ID)
+	}
+	if !out.Timestamp.Equal(in.Timestamp) {
+		t.Errorf("timestamp %v != %v", out.Timestamp, in.Timestamp)
+	}
+	if math.Abs(out.X-in.X) > 0.005 || math.Abs(out.Y-in.Y) > 0.005 {
+		t.Errorf("position (%v,%v) != (%v,%v)", out.X, out.Y, in.X, in.Y)
+	}
+	if math.Abs(out.SpeedMS-in.SpeedMS) > 0.005 {
+		t.Errorf("speed %v != %v", out.SpeedMS, in.SpeedMS)
+	}
+	if math.Abs(out.HeadingDeg-in.HeadingDeg) > 0.005 {
+		t.Errorf("heading %v != %v", out.HeadingDeg, in.HeadingDeg)
+	}
+	if math.Abs(out.AccelMS2-in.AccelMS2) > 0.005 {
+		t.Errorf("accel %v != %v", out.AccelMS2, in.AccelMS2)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	buf, err := sample().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(buf[:10]); err != ErrShortBuffer {
+		t.Errorf("short: err = %v", err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] = 0xFF
+	if _, err := Unmarshal(bad); err != ErrBadMagic {
+		t.Errorf("magic: err = %v", err)
+	}
+	badVer := append([]byte(nil), buf...)
+	badVer[2] = 9
+	if _, err := Unmarshal(badVer); err == nil {
+		t.Error("version should error")
+	}
+	flipped := append([]byte(nil), buf...)
+	flipped[20] ^= 0x01 // corrupt a payload byte
+	if _, err := Unmarshal(flipped); err != ErrBadCRC {
+		t.Errorf("crc: err = %v", err)
+	}
+}
+
+func TestValidateRanges(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Beacon)
+	}{
+		{"negative speed", func(b *Beacon) { b.SpeedMS = -1 }},
+		{"huge speed", func(b *Beacon) { b.SpeedMS = 1e6 }},
+		{"heading 360", func(b *Beacon) { b.HeadingDeg = 360 }},
+		{"negative heading", func(b *Beacon) { b.HeadingDeg = -1 }},
+		{"absurd accel", func(b *Beacon) { b.AccelMS2 = 1000 }},
+		{"absurd position", func(b *Beacon) { b.X = 1e9 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := sample()
+			tt.mutate(b)
+			if _, err := b.Marshal(); err == nil {
+				t.Error("expected range error")
+			}
+		})
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(id uint32, xRaw, yRaw, spRaw, hdRaw, acRaw float64) bool {
+		in := &Beacon{
+			ID:         id,
+			Timestamp:  time.Unix(0, rng.Int63()),
+			X:          math.Mod(xRaw, 2e6),
+			Y:          math.Mod(yRaw, 2e6),
+			SpeedMS:    math.Abs(math.Mod(spRaw, 600)),
+			HeadingDeg: math.Abs(math.Mod(hdRaw, 360)),
+			AccelMS2:   math.Mod(acRaw, 300),
+		}
+		if math.IsNaN(in.X) || math.IsNaN(in.Y) || math.IsNaN(in.SpeedMS) ||
+			math.IsNaN(in.HeadingDeg) || math.IsNaN(in.AccelMS2) {
+			return true
+		}
+		buf, err := in.Marshal()
+		if err != nil {
+			return true // out-of-range draws are rejected, which is fine
+		}
+		out, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return out.ID == in.ID &&
+			math.Abs(out.X-in.X) <= 0.005 &&
+			math.Abs(out.Y-in.Y) <= 0.005 &&
+			math.Abs(out.SpeedMS-in.SpeedMS) <= 0.005 &&
+			math.Abs(out.HeadingDeg-in.HeadingDeg) <= 0.005 &&
+			math.Abs(out.AccelMS2-in.AccelMS2) <= 0.005
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package voiceprint
+
+import (
+	"time"
+
+	"voiceprint/internal/experiments"
+	"voiceprint/internal/trace"
+	"voiceprint/internal/vanet"
+)
+
+// The simulation facade: enough of the substrate to reproduce the paper's
+// scenarios from application code (see examples/).
+
+// SimParams configure one Table V highway simulation run.
+type SimParams = experiments.SimParams
+
+// SimRun is a completed highway run with logs and ground truth.
+type SimRun = experiments.SimRun
+
+// RunHighway builds and runs one highway simulation (Section V, Table V):
+// density-derived vehicle count, 5% Sybil attackers with 3-6 fabricated
+// identities each, dual-slope highway channel, DSRC CCH beacons at 10 Hz.
+func RunHighway(p SimParams) (*SimRun, error) {
+	return experiments.RunHighway(p)
+}
+
+// ReceptionLog is one observer's view of the network.
+type ReceptionLog = vanet.ReceptionLog
+
+// Truth is simulation ground truth (for scoring only).
+type Truth = vanet.Truth
+
+// FieldTestArea is one Section VI field-test environment.
+type FieldTestArea = trace.Area
+
+// FieldTestAreas returns the paper's four areas (campus, rural, urban,
+// highway) with their test durations.
+func FieldTestAreas() []FieldTestArea { return trace.AllAreas() }
+
+// NewFieldTestEngine builds the four-vehicle field-test convoy (one
+// attacker broadcasting two Sybil identities, three normal observers) in
+// the given area. Run it with Engine.Run and read Engine.Logs.
+func NewFieldTestEngine(area FieldTestArea, seed int64) (*vanet.Engine, error) {
+	return trace.NewFieldTestEngine(area, seed)
+}
+
+// Engine is the discrete-time VANET simulation engine.
+type Engine = vanet.Engine
+
+// SeriesWindow extracts the RSSI series per heard identity from a
+// reception log over [from, to), in the Detector's input format.
+func SeriesWindow(log *ReceptionLog, from, to time.Duration) map[NodeID]*Series {
+	out := make(map[NodeID]*Series, len(log.PerIdentity))
+	for id, l := range log.PerIdentity {
+		s := l.Series(from, to)
+		if s.Len() > 0 {
+			out[id] = s
+		}
+	}
+	return out
+}

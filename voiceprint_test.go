@@ -1,0 +1,142 @@
+package voiceprint
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface: simulate a small
+// highway attack, train a boundary from harvested comparisons, detect,
+// and confirm across rounds.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	run, err := RunHighway(SimParams{
+		DensityPerKm: 30,
+		Seed:         7,
+		Duration:     60 * time.Second,
+		MaxObservers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Engine.Logs()) != 3 {
+		t.Fatalf("got %d observers", len(run.Engine.Logs()))
+	}
+
+	// Harvest training points with a permissive detector, label with
+	// ground truth, train, re-detect.
+	harvestDet, err := NewDetector(DefaultDetectorConfig(ConstantBoundary(-1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []TrainingPoint
+	for _, log := range run.Engine.Logs() {
+		series := SeriesWindow(log, 0, 20*time.Second)
+		res, err := harvestDet.Detect(series, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Pairs {
+			points = append(points, TrainingPoint{
+				Density:   30,
+				Distance:  p.Normalized,
+				SybilPair: run.Truth.SybilPair(p.A, p.B),
+			})
+		}
+	}
+	boundary, err := TrainBoundary(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	det, err := NewDetector(DefaultDetectorConfig(boundary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	confirmer, err := NewConfirmer(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp, illegit int
+	for _, log := range run.Engine.Logs() {
+		var confirmed map[NodeID]bool
+		for from := time.Duration(0); from+20*time.Second <= 60*time.Second; from += 20 * time.Second {
+			series := SeriesWindow(log, from, from+20*time.Second)
+			res, err := det.Detect(series, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			confirmed = confirmer.Update(res.Considered, res.Suspects)
+		}
+		for id := range confirmed {
+			if run.Truth.Illegitimate(id) {
+				tp++
+			}
+		}
+		for id := range run.Truth.Sybil {
+			_ = id
+		}
+	}
+	illegit = len(run.Truth.Sybil) + len(run.Truth.Malicious)
+	if illegit == 0 {
+		t.Fatal("scenario has no attacker")
+	}
+	if tp == 0 {
+		t.Error("end-to-end pipeline confirmed no Sybil identity")
+	}
+}
+
+func TestDensityHelper(t *testing.T) {
+	den, err := EstimateDensity(80, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if den != 100 {
+		t.Errorf("EstimateDensity = %v, want 100", den)
+	}
+}
+
+func TestDTWHelpers(t *testing.T) {
+	x := []float64{1, 1, 4, 1, 1}
+	y := []float64{2, 2, 2, 4, 2, 2}
+	d, err := DTWDistance(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Errorf("DTWDistance = %v, want 5", d)
+	}
+	fd, err := FastDTWDistance(x, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd < d {
+		t.Errorf("FastDTW %v below exact %v", fd, d)
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := SeriesFromValues([]float64{-70, -71}, 100*time.Millisecond)
+	if s.Len() != 2 {
+		t.Errorf("series len = %d", s.Len())
+	}
+	empty := NewSeries(4)
+	if empty.Len() != 0 {
+		t.Error("NewSeries should be empty")
+	}
+}
+
+func TestFieldTestFacade(t *testing.T) {
+	areas := FieldTestAreas()
+	if len(areas) != 4 {
+		t.Fatalf("got %d areas", len(areas))
+	}
+	eng, err := NewFieldTestEngine(areas[0], rand.Int63n(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(30 * time.Second)
+	if len(eng.Logs()) != 3 {
+		t.Errorf("field test should have 3 observers")
+	}
+}
