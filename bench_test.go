@@ -185,6 +185,45 @@ func BenchmarkDetect80Neighbors(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectWorkers compares the sequential pairwise-comparison
+// loop against the parallel one (Config.Workers) on the same 80-identity
+// round as BenchmarkDetect80Neighbors; the parallel variant should show
+// a wall-clock speedup on multicore hosts while producing bit-identical
+// results (see internal/core's determinism test).
+func BenchmarkDetectWorkers(b *testing.B) {
+	run, err := RunHighway(SimParams{DensityPerKm: 40, Seed: 4, Duration: 25 * time.Second, MaxObservers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var log *ReceptionLog
+	for _, l := range run.Engine.Logs() {
+		log = l
+	}
+	series := SeriesWindow(log, 0, 20*time.Second)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := DefaultDetectorConfig(benchBoundary())
+			cfg.Workers = bc.workers
+			det, err := NewDetector(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Detect(series, 40); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDTWvsFastDTW regenerates the Section IV-B FastDTW
 // accuracy/time trade-off.
 func BenchmarkDTWvsFastDTW(b *testing.B) {

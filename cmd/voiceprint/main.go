@@ -10,9 +10,15 @@
 //
 // Output: per receiver and detection period, the flagged Sybil suspects
 // and the pairwise distances that convicted them.
+//
+// The CLI is a thin shell over the same streaming pipeline the
+// voiceprintd daemon runs — per-receiver core.Monitor instances fed
+// through service.Replay at infinite speedup — so the offline and online
+// paths cannot drift apart.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +27,7 @@ import (
 
 	"voiceprint/internal/core"
 	"voiceprint/internal/lda"
-	"voiceprint/internal/timeseries"
-	"voiceprint/internal/trace"
+	"voiceprint/internal/service"
 	"voiceprint/internal/vanet"
 )
 
@@ -51,88 +56,59 @@ func run() error {
 		return err
 	}
 	defer f.Close()
-	records, err := trace.ReadCSV(f)
+
+	cfg := core.DefaultConfig(lda.Boundary{K: *k, B: *b})
+	cfg.ObservationTime = *observation
+
+	var outcomes []service.RoundOutcome
+	_, err = service.Replay(context.Background(), f, service.ReplayConfig{
+		Registry: service.RegistryConfig{
+			Monitor: core.MonitorConfig{
+				Detector:  cfg,
+				MaxRangeM: *maxRange,
+			},
+		},
+		Period: *period,
+	}, nil, func(out service.RoundOutcome) {
+		outcomes = append(outcomes, out)
+	})
 	if err != nil {
 		return err
 	}
 
-	// Split records by receiver.
-	byReceiver := make(map[vanet.NodeID][]trace.Record)
-	var horizon time.Duration
-	for _, r := range records {
-		byReceiver[r.Receiver] = append(byReceiver[r.Receiver], r)
-		if r.T > horizon {
-			horizon = r.T
+	// Group by receiver, then time, preserving the historical per-receiver
+	// report layout.
+	sort.SliceStable(outcomes, func(i, j int) bool {
+		if outcomes[i].Recv != outcomes[j].Recv {
+			return outcomes[i].Recv < outcomes[j].Recv
 		}
-	}
-	receivers := make([]vanet.NodeID, 0, len(byReceiver))
-	for id := range byReceiver {
-		receivers = append(receivers, id)
-	}
-	sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
-
-	det, err := core.New(core.DefaultConfig(lda.Boundary{K: *k, B: *b}))
-	if err != nil {
-		return err
-	}
-
-	for _, recv := range receivers {
-		series, err := trace.ToSeries(byReceiver[recv])
-		if err != nil {
-			return err
+		return outcomes[i].At < outcomes[j].At
+	})
+	for _, out := range outcomes {
+		if out.Err != nil {
+			return fmt.Errorf("receiver %d at %v: %w", out.Recv, out.At, out.Err)
 		}
-		est, err := core.NewDensityEstimator(*maxRange)
-		if err != nil {
-			return err
+		res := out.Result
+		if len(res.Suspects) == 0 && !*verbose {
+			continue
 		}
-		for end := *period; end <= horizon+*period; end += *period {
-			from := end - *observation
-			if from < 0 {
-				from = 0
-			}
-			input := sliceSeries(series, from, end)
-			if len(input) == 0 {
-				continue
-			}
-			heard := make([]vanet.NodeID, 0, len(input))
-			for id := range input {
-				heard = append(heard, id)
-			}
-			density := est.Estimate(heard)
-			res, err := det.Detect(input, density)
-			if err != nil {
-				return err
-			}
-			est.Record(res.Suspects)
-			if len(res.Suspects) == 0 && !*verbose {
-				continue
-			}
-			suspects := make([]vanet.NodeID, 0, len(res.Suspects))
-			for id := range res.Suspects {
-				suspects = append(suspects, id)
-			}
-			sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
-			fmt.Printf("receiver %d t=[%v,%v) den=%.1f considered=%d suspects=%v\n",
-				recv, from, end, density, len(res.Considered), suspects)
-			if *verbose {
-				for _, p := range res.Pairs {
-					fmt.Printf("  (%d,%d) raw=%.5f norm=%.4f flagged=%v\n",
-						p.A, p.B, p.Raw, p.Normalized, p.Flagged)
-				}
+		from := out.At - *observation
+		if from < 0 {
+			from = 0
+		}
+		suspects := make([]vanet.NodeID, 0, len(res.Suspects))
+		for id := range res.Suspects {
+			suspects = append(suspects, id)
+		}
+		sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
+		fmt.Printf("receiver %d t=[%v,%v) den=%.1f considered=%d suspects=%v\n",
+			out.Recv, from, out.At, res.Density, len(res.Considered), suspects)
+		if *verbose {
+			for _, p := range res.Pairs {
+				fmt.Printf("  (%d,%d) raw=%.5f norm=%.4f flagged=%v\n",
+					p.A, p.B, p.Raw, p.Normalized, p.Flagged)
 			}
 		}
 	}
 	return nil
-}
-
-// sliceSeries windows each sender's series to [from, to).
-func sliceSeries(series map[vanet.NodeID]*timeseries.Series, from, to time.Duration) map[vanet.NodeID]*timeseries.Series {
-	out := make(map[vanet.NodeID]*timeseries.Series, len(series))
-	for id, s := range series {
-		w := s.Window(from, to)
-		if w.Len() > 0 {
-			out[id] = w
-		}
-	}
-	return out
 }

@@ -1,0 +1,154 @@
+// Command voiceprintd is the streaming Voiceprint daemon: the online
+// counterpart of the offline cmd/voiceprint CLI. It ingests RSSI
+// observation streams over a line-delimited NDJSON protocol (TCP or a
+// Unix socket), shards them into per-receiver detectors, runs detection
+// rounds on a worker pool once per period, and publishes Sybil verdicts
+// as an NDJSON event stream to every connected client. An HTTP admin
+// surface exposes /healthz and /metrics.
+//
+// Live mode:
+//
+//	voiceprintd -listen 127.0.0.1:8474 -admin 127.0.0.1:8475 \
+//	            [-k 0.000025 -b 0.0067] [-observation 20s -period 20s]
+//
+// One observation per line, one verdict event per round per receiver:
+//
+//	→ {"recv":901,"sender":102,"t_ms":18400,"rssi":-71.25}
+//	← {"type":"round","recv":901,"t_ms":20000,"density":4.5,
+//	   "considered":9,"suspects":[1,101,102],"confirmed":[1,101,102]}
+//
+// Replay mode feeds a recorded trace CSV (the cmd/vanet-sim format)
+// through the same ingest path at a configurable speedup and writes the
+// event stream to stdout; -speed 0 replays as fast as the detector
+// keeps up, making `voiceprintd -replay trace.csv` a drop-in streaming
+// equivalent of `voiceprint -trace trace.csv`:
+//
+//	voiceprintd -replay trace.csv [-speed 10]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"voiceprint/internal/core"
+	"voiceprint/internal/lda"
+	"voiceprint/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "voiceprintd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:8474", "TCP ingest/event listen address")
+	socket := flag.String("socket", "", "Unix socket path (overrides -listen)")
+	admin := flag.String("admin", "", "HTTP admin listen address (/healthz, /metrics); empty disables")
+	k := flag.Float64("k", 0.000025, "boundary slope (Figure 10)")
+	b := flag.Float64("b", 0.0067, "boundary intercept (Figure 10)")
+	observation := flag.Duration("observation", 20*time.Second, "observation window")
+	period := flag.Duration("period", 20*time.Second, "detection period")
+	maxRange := flag.Float64("range", 1000, "max transmission range (m), for Eq 9 density estimation")
+	confirmWindow := flag.Int("confirm-window", 1, "confirmation window N (rounds)")
+	confirmNeed := flag.Int("confirm-need", 1, "flags needed within the window (K of N)")
+	evictAfter := flag.Duration("evict-after", 0, "drop identities silent this long (0 = 2x observation)")
+	tolerance := flag.Duration("reorder-tolerance", 500*time.Millisecond, "accept observations up to this far out of order")
+	workers := flag.Int("workers", 0, "detection round worker pool size (0 = GOMAXPROCS)")
+	ingestBuffer := flag.Int("ingest-buffer", 0, "per-connection observation buffer (0 = default)")
+	replay := flag.String("replay", "", "replay a trace CSV through the ingest path and exit")
+	speed := flag.Float64("speed", 0, "replay speedup vs stream time (0 = as fast as possible)")
+	flag.Parse()
+
+	regCfg := service.RegistryConfig{
+		Monitor: core.MonitorConfig{
+			Detector:      core.DefaultConfig(lda.Boundary{K: *k, B: *b}),
+			MaxRangeM:     *maxRange,
+			ConfirmWindow: *confirmWindow,
+			ConfirmNeed:   *confirmNeed,
+			EvictAfter:    *evictAfter,
+		},
+		ReorderTolerance: *tolerance,
+	}
+	regCfg.Monitor.Detector.ObservationTime = *observation
+	regCfg.Monitor.Detector.Workers = *workers
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *replay != "" {
+		return runReplay(ctx, *replay, regCfg, *period, *speed, *workers)
+	}
+
+	cfg := service.Config{
+		Network:      "tcp",
+		Addr:         *listen,
+		Registry:     regCfg,
+		Period:       *period,
+		Workers:      *workers,
+		IngestBuffer: *ingestBuffer,
+		Logf:         log.Printf,
+	}
+	if *socket != "" {
+		cfg.Network, cfg.Addr = "unix", *socket
+	}
+	srv, err := service.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("voiceprintd: ingest on %s://%v, period %v", cfg.Network, srv.Addr(), *period)
+
+	if *admin != "" {
+		adminSrv := &http.Server{
+			Addr:    *admin,
+			Handler: service.AdminHandler(srv.Metrics(), srv.Registry()),
+		}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("voiceprintd: admin: %v", err)
+			}
+		}()
+		defer adminSrv.Close()
+		log.Printf("voiceprintd: admin on http://%s/metrics", *admin)
+	}
+
+	err = srv.Serve(ctx)
+	log.Printf("voiceprintd: drained, exiting")
+	return err
+}
+
+// runReplay streams a trace CSV through the ingest path, printing the
+// verdict event stream to stdout.
+func runReplay(ctx context.Context, path string, regCfg service.RegistryConfig, period time.Duration, speed float64, workers int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	metrics := &service.Metrics{}
+	_, err = service.Replay(ctx, f, service.ReplayConfig{
+		Registry: regCfg,
+		Period:   period,
+		Speed:    speed,
+		Workers:  workers,
+	}, metrics, func(out service.RoundOutcome) {
+		os.Stdout.Write(service.EventFromOutcome(out).Encode())
+	})
+	if err != nil {
+		return err
+	}
+	snap := metrics.Snapshot()
+	log.Printf("voiceprintd: replay done: %d observations, %d rounds, %d suspects flagged, %d stale dropped",
+		snap["observations_ingested_total"], snap["rounds_run_total"],
+		snap["suspects_flagged_total"], snap["stale_dropped_total"])
+	return nil
+}

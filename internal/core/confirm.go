@@ -41,6 +41,13 @@ func (c *Confirmer) Update(heard []vanet.NodeID, suspects map[vanet.NodeID]bool)
 		}
 		c.history[id] = h
 	}
+	return c.Confirmed()
+}
+
+// Confirmed returns the identities currently confirmed under the K-of-N
+// rule without folding in a round. Use it to inspect confirmation state
+// between detection periods.
+func (c *Confirmer) Confirmed() map[vanet.NodeID]bool {
 	confirmed := make(map[vanet.NodeID]bool)
 	for id, h := range c.history {
 		flags := 0

@@ -19,7 +19,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"voiceprint/internal/dtw"
@@ -94,6 +97,11 @@ type Config struct {
 	// The zero value (normalization on) is the production behaviour; the
 	// ablation experiment flips this to quantify the effect.
 	DisableLengthNormalization bool
+	// Workers bounds the goroutines used for the O(n²) pairwise FastDTW
+	// comparison phase. Each pair is independent and results land in
+	// preassigned slots, so the outcome is bit-identical at any worker
+	// count. Zero means GOMAXPROCS; 1 forces the sequential path.
+	Workers int
 }
 
 // DefaultConfig returns the paper's Table V detector settings.
@@ -119,6 +127,9 @@ func (c Config) Validate() error {
 	}
 	if c.ObservationTime < 0 {
 		return errors.New("core: ObservationTime must be non-negative")
+	}
+	if c.Workers < 0 {
+		return errors.New("core: Workers must be non-negative")
 	}
 	return nil
 }
@@ -236,27 +247,11 @@ func (d *Detector) Detect(series map[vanet.NodeID]*timeseries.Series, density fl
 		}
 		noiseVar[id] = nu * nu
 	}
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			a, b := normalized[ids[i]], normalized[ids[j]]
-			raw, err := d.compare(a, b)
-			if err != nil {
-				return nil, fmt.Errorf("core: compare %d/%d: %w", ids[i], ids[j], err)
-			}
-			if !d.cfg.DisableLengthNormalization {
-				n := len(a)
-				if len(b) > n {
-					n = len(b)
-				}
-				raw /= float64(n)
-			}
-			pd := PairDistance{A: ids[i], B: ids[j], Raw: raw}
-			if d.cfg.AdaptiveCapKappa > 0 {
-				pd.NoiseCap = d.cfg.AdaptiveCapKappa * (noiseVar[ids[i]] + noiseVar[ids[j]])
-			}
-			res.Pairs = append(res.Pairs, pd)
-		}
+	pairs, err := d.comparePairs(ids, normalized, noiseVar)
+	if err != nil {
+		return nil, err
 	}
+	res.Pairs = pairs
 	raws := make([]float64, len(res.Pairs))
 	for i, p := range res.Pairs {
 		raws[i] = p.Raw
@@ -299,6 +294,88 @@ func (d *Detector) Detect(series map[vanet.NodeID]*timeseries.Series, density fl
 		}
 	}
 	return res, nil
+}
+
+// comparePairs runs the pairwise FastDTW loop over every {i < j} pair of
+// ids, fanned out across Workers goroutines. Pairs are enumerated in the
+// usual nested-loop order and each goroutine writes only its preassigned
+// slots, so the returned slice is deterministic (identical to the
+// sequential loop) at any worker count.
+func (d *Detector) comparePairs(ids []vanet.NodeID, normalized map[vanet.NodeID][]float64, noiseVar map[vanet.NodeID]float64) ([]PairDistance, error) {
+	n := len(ids)
+	pairs := make([]PairDistance, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pd := PairDistance{A: ids[i], B: ids[j]}
+			if d.cfg.AdaptiveCapKappa > 0 {
+				pd.NoiseCap = d.cfg.AdaptiveCapKappa * (noiseVar[ids[i]] + noiseVar[ids[j]])
+			}
+			pairs = append(pairs, pd)
+		}
+	}
+	workers := d.cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	// A detection round over a handful of neighbors finishes in
+	// microseconds; goroutine fan-out only pays for itself on bigger
+	// rounds.
+	if workers <= 1 || len(pairs) < 16 {
+		for k := range pairs {
+			if err := d.comparePairAt(&pairs[k], normalized); err != nil {
+				return nil, err
+			}
+		}
+		return pairs, nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(pairs) {
+					return
+				}
+				if err := d.comparePairAt(&pairs[k], normalized); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return pairs, nil
+}
+
+// comparePairAt fills in one pair's raw distance in place.
+func (d *Detector) comparePairAt(pd *PairDistance, normalized map[vanet.NodeID][]float64) error {
+	a, b := normalized[pd.A], normalized[pd.B]
+	raw, err := d.compare(a, b)
+	if err != nil {
+		return fmt.Errorf("core: compare %d/%d: %w", pd.A, pd.B, err)
+	}
+	if !d.cfg.DisableLengthNormalization {
+		n := len(a)
+		if len(b) > n {
+			n = len(b)
+		}
+		raw /= float64(n)
+	}
+	pd.Raw = raw
+	return nil
 }
 
 // compare measures one pair: banded DTW by default, unconstrained

@@ -461,3 +461,50 @@ func TestCompareUnconstrainedFallback(t *testing.T) {
 		}
 	}
 }
+
+// TestDetectParallelDeterminism: the parallel comparison phase must be
+// bit-identical to the sequential loop at any worker count — pairs land
+// in preassigned slots, no merge order dependence.
+func TestDetectParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(119))
+	series := sybilCluster(rng, 12) // 15 identities, 105 pairs
+	detect := func(workers int) *Result {
+		t.Helper()
+		cfg := DefaultConfig(testBoundary())
+		cfg.MinMedianRSSIDBm = 0
+		cfg.Workers = workers
+		det, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.Detect(series, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := detect(1)
+	if len(seq.Pairs) != 105 {
+		t.Fatalf("pairs = %d, want 105", len(seq.Pairs))
+	}
+	for _, workers := range []int{0, 2, 7, 32} {
+		par := detect(workers)
+		if len(par.Pairs) != len(seq.Pairs) {
+			t.Fatalf("workers=%d: %d pairs vs %d", workers, len(par.Pairs), len(seq.Pairs))
+		}
+		for i := range seq.Pairs {
+			if seq.Pairs[i] != par.Pairs[i] {
+				t.Errorf("workers=%d pair %d: %+v != sequential %+v",
+					workers, i, par.Pairs[i], seq.Pairs[i])
+			}
+		}
+		for id := range seq.Suspects {
+			if !par.Suspects[id] {
+				t.Errorf("workers=%d: suspect %d missing", workers, id)
+			}
+		}
+	}
+	if _, err := New(Config{Boundary: testBoundary(), Workers: -1}); err == nil {
+		t.Error("negative Workers should error")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"voiceprint/internal/timeseries"
@@ -14,15 +15,24 @@ import (
 // period. It owns the rolling observation window, the Equation 9 density
 // estimator and the multi-period Confirmer, so embedding Voiceprint in an
 // OBU's receive path is three calls: Observe, Detect, Confirmed.
+//
+// A Monitor is safe for concurrent use: the streaming service feeds
+// observations from ingest goroutines while a scheduler runs detection
+// rounds on a worker pool. Calls serialize on an internal mutex; the
+// heavy pairwise comparison inside Detect still parallelizes internally
+// via Config.Workers.
 type Monitor struct {
+	mu        sync.Mutex
 	det       *Detector
 	estimator *DensityEstimator
 	confirmer *Confirmer
 
-	window  time.Duration
-	series  map[vanet.NodeID]*timeseries.Series
-	lastObs map[vanet.NodeID]time.Duration
-	now     time.Duration
+	window     time.Duration
+	evictAfter time.Duration
+	series     map[vanet.NodeID]*timeseries.Series
+	lastObs    map[vanet.NodeID]time.Duration
+	now        time.Duration
+	evicted    uint64
 }
 
 // MonitorConfig configures a Monitor.
@@ -65,13 +75,21 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if window == 0 {
 		window = 20 * time.Second
 	}
+	if cfg.EvictAfter < 0 {
+		return nil, errors.New("core: EvictAfter must be non-negative")
+	}
+	evictAfter := cfg.EvictAfter
+	if evictAfter == 0 {
+		evictAfter = 2 * window
+	}
 	return &Monitor{
-		det:       det,
-		estimator: est,
-		confirmer: conf,
-		window:    window,
-		series:    make(map[vanet.NodeID]*timeseries.Series),
-		lastObs:   make(map[vanet.NodeID]time.Duration),
+		det:        det,
+		estimator:  est,
+		confirmer:  conf,
+		window:     window,
+		evictAfter: evictAfter,
+		series:     make(map[vanet.NodeID]*timeseries.Series),
+		lastObs:    make(map[vanet.NodeID]time.Duration),
 	}, nil
 }
 
@@ -81,8 +99,38 @@ var ErrTimeBackwards = errors.New("core: observation time went backwards")
 // Observe feeds one received beacon. Observations must be non-decreasing
 // in time across all identities.
 func (m *Monitor) Observe(id vanet.NodeID, t time.Duration, rssi float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if t < m.now {
 		return fmt.Errorf("%w: %v after %v", ErrTimeBackwards, t, m.now)
+	}
+	m.now = t
+	s := m.series[id]
+	if s == nil {
+		s = timeseries.New(64)
+		m.series[id] = s
+	}
+	if err := s.Append(t, rssi); err != nil {
+		return err
+	}
+	m.lastObs[id] = t
+	return nil
+}
+
+// ObserveClamped feeds one beacon, tolerating bounded reordering: a
+// timestamp up to tolerance behind the newest observation is clamped
+// forward to it (the sample still lands in the window, order within the
+// series is what DTW absorbs anyway); anything older is rejected with
+// ErrTimeBackwards. Network ingest paths use this instead of Observe so a
+// slightly late UDP-ish delivery does not poison the stream.
+func (m *Monitor) ObserveClamped(id vanet.NodeID, t time.Duration, rssi float64, tolerance time.Duration) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t < m.now {
+		if m.now-t > tolerance {
+			return fmt.Errorf("%w: %v after %v", ErrTimeBackwards, t, m.now)
+		}
+		t = m.now
 	}
 	m.now = t
 	s := m.series[id]
@@ -101,15 +149,34 @@ func (m *Monitor) Observe(id vanet.NodeID, t time.Duration, rssi float64) error 
 // updates the confirmer, and returns the round result. Call it once per
 // detection period.
 func (m *Monitor) Detect() (*Result, error) {
-	from := m.now - m.window
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.detectAtLocked(m.now)
+}
+
+// DetectAt runs a detection round with the observation window ending at
+// now (advancing the monitor clock to it if ahead). Schedulers use it to
+// fire rounds at exact period boundaries even when no beacon landed on
+// the boundary instant.
+func (m *Monitor) DetectAt(now time.Duration) (*Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now > m.now {
+		m.now = now
+	}
+	return m.detectAtLocked(m.now)
+}
+
+func (m *Monitor) detectAtLocked(now time.Duration) (*Result, error) {
+	from := now - m.window
 	if from < 0 {
 		from = 0
 	}
-	m.evict()
+	m.evictLocked()
 	input := make(map[vanet.NodeID]*timeseries.Series, len(m.series))
 	heard := make([]vanet.NodeID, 0, len(m.series))
 	for id, s := range m.series {
-		w := s.Window(from, m.now+1)
+		w := s.Window(from, now+1)
 		if w.Len() == 0 {
 			continue
 		}
@@ -127,28 +194,55 @@ func (m *Monitor) Detect() (*Result, error) {
 }
 
 // Confirmed returns the identities currently confirmed as Sybil under the
-// multi-period rule.
+// multi-period rule. It is a read-only snapshot: calling it between
+// detection periods does not advance the K-of-N window.
 func (m *Monitor) Confirmed() map[vanet.NodeID]bool {
-	return m.confirmer.Update(nil, nil)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.confirmer.Confirmed()
 }
 
 // Tracked returns how many identities the monitor currently buffers.
-func (m *Monitor) Tracked() int { return len(m.series) }
+func (m *Monitor) Tracked() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.series)
+}
 
-// evict drops identities that have gone silent, bounding memory on long
-// drives past thousands of vehicles.
-func (m *Monitor) evict() {
-	evictAfter := 2 * m.window
+// Now returns the monitor clock: the latest observation (or DetectAt)
+// time seen so far.
+func (m *Monitor) Now() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Evicted returns the cumulative count of identities evicted for silence.
+func (m *Monitor) Evicted() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evicted
+}
+
+// evictLocked drops identities that have gone silent, bounding memory on
+// long drives past thousands of vehicles. Callers hold m.mu.
+func (m *Monitor) evictLocked() {
 	for id, last := range m.lastObs {
-		if m.now-last > evictAfter {
+		if m.now-last > m.evictAfter {
 			delete(m.series, id)
 			delete(m.lastObs, id)
 			m.confirmer.Forget(id)
+			m.evicted++
 		}
 	}
 	// Rebuild buffers so evicted history does not pin backing arrays; the
-	// kept series also shrink to the relevant window.
-	from := m.now - evictAfter
+	// kept series also shrink to the relevant horizon (never narrower
+	// than the observation window, even with an aggressive EvictAfter).
+	keep := m.evictAfter
+	if m.window > keep {
+		keep = m.window
+	}
+	from := m.now - keep
 	if from < 0 {
 		return
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -107,6 +109,116 @@ func TestMonitorConfigValidation(t *testing.T) {
 	}
 	if _, err := NewMonitor(MonitorConfig{Detector: DefaultConfig(testBoundary()), ConfirmWindow: 2, ConfirmNeed: 5}); err == nil {
 		t.Error("need > window should error")
+	}
+}
+
+func TestMonitorHonorsEvictAfter(t *testing.T) {
+	cfg := DefaultConfig(testBoundary())
+	cfg.MinMedianRSSIDBm = 0
+	m, err := NewMonitor(MonitorConfig{Detector: cfg, EvictAfter: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(7, 0, -70); err != nil {
+		t.Fatal(err)
+	}
+	// Keep another identity alive just past the configured horizon —
+	// far short of the 2x-window default that used to be hardcoded.
+	for ts := time.Duration(0); ts <= 6*time.Second; ts += time.Second {
+		if err := m.Observe(8, ts, -72); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Detect(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tracked() != 1 {
+		t.Errorf("tracked = %d after eviction, want 1 (identity 8)", m.Tracked())
+	}
+	if m.Evicted() != 1 {
+		t.Errorf("evicted counter = %d, want 1", m.Evicted())
+	}
+	if _, err := NewMonitor(MonitorConfig{Detector: cfg, EvictAfter: -time.Second}); err == nil {
+		t.Error("negative EvictAfter should error")
+	}
+}
+
+func TestConfirmerSnapshotIsReadOnly(t *testing.T) {
+	c, err := NewConfirmer(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heard := []vanet.NodeID{1}
+	c.Update(heard, map[vanet.NodeID]bool{1: true})
+	// Polling confirmation state between rounds must not advance the
+	// K-of-N window.
+	for i := 0; i < 5; i++ {
+		if got := c.Confirmed(); len(got) != 0 {
+			t.Fatalf("confirmed after 1 of 2 needed flags: %v", got)
+		}
+	}
+	if got := c.Update(heard, map[vanet.NodeID]bool{1: true}); !got[1] {
+		t.Errorf("second flagged round must confirm, got %v", got)
+	}
+	if got := c.Confirmed(); !got[1] {
+		t.Errorf("snapshot after confirmation = %v", got)
+	}
+}
+
+func TestMonitorObserveClamped(t *testing.T) {
+	m := testMonitor(t, 1, 1)
+	if err := m.Observe(1, time.Second, -70); err != nil {
+		t.Fatal(err)
+	}
+	// Slightly late: clamped forward, clock unchanged.
+	if err := m.ObserveClamped(2, 900*time.Millisecond, -71, 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if m.Now() != time.Second {
+		t.Errorf("Now = %v, want clock pinned at 1s", m.Now())
+	}
+	// Beyond tolerance: rejected.
+	if err := m.ObserveClamped(3, 100*time.Millisecond, -72, 500*time.Millisecond); !errors.Is(err, ErrTimeBackwards) {
+		t.Errorf("stale observation err = %v, want ErrTimeBackwards", err)
+	}
+	if m.Tracked() != 2 {
+		t.Errorf("tracked = %d, want 2", m.Tracked())
+	}
+}
+
+// TestMonitorConcurrentAccess exercises the monitor's thread safety:
+// concurrent feeders and a detector loop, meaningful under -race.
+func TestMonitorConcurrentAccess(t *testing.T) {
+	m := testMonitor(t, 3, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := vanet.NodeID(10 + g)
+			for i := 0; i < 300; i++ {
+				t := time.Duration(i) * 10 * time.Millisecond
+				_ = m.ObserveClamped(id, t, -70+float64(g), time.Hour)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := m.Detect(); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = m.Confirmed()
+			_ = m.Tracked()
+			_ = m.Now()
+			_ = m.Evicted()
+		}
+	}()
+	wg.Wait()
+	if m.Tracked() != 4 {
+		t.Errorf("tracked = %d, want 4", m.Tracked())
 	}
 }
 

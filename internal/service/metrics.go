@@ -1,0 +1,101 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics are the daemon's operational counters. All fields are
+// monotonic counters updated lock-free from ingest and scheduler
+// goroutines; gauges derived from live state (identities tracked,
+// currently confirmed, evicted) are computed at scrape time from the
+// Registry.
+type Metrics struct {
+	// ObservationsIngested counts beacons accepted into a monitor.
+	ObservationsIngested atomic.Uint64
+	// MalformedDropped counts inbound lines that failed to parse or
+	// validate.
+	MalformedDropped atomic.Uint64
+	// StaleDropped counts observations rejected for regressing further
+	// back in time than the reorder tolerance (ErrTimeBackwards).
+	StaleDropped atomic.Uint64
+	// BackpressureDropped counts observations shed because a
+	// connection's bounded ingest buffer was full.
+	BackpressureDropped atomic.Uint64
+	// EventsDropped counts verdict events shed because a subscriber's
+	// outbound buffer was full.
+	EventsDropped atomic.Uint64
+	// ReceiversRejected counts observations dropped because the registry
+	// was at its receiver capacity.
+	ReceiversRejected atomic.Uint64
+	// RoundsRun counts completed detection rounds (including errored).
+	RoundsRun atomic.Uint64
+	// RoundErrors counts detection rounds that returned an error.
+	RoundErrors atomic.Uint64
+	// RoundsCoalesced counts scheduled rounds skipped because the same
+	// receiver's previous round was still in flight.
+	RoundsCoalesced atomic.Uint64
+	// SuspectsFlagged counts identity flags summed over rounds.
+	SuspectsFlagged atomic.Uint64
+	// RoundLatencyNs accumulates wall-clock nanoseconds spent in rounds;
+	// divide by RoundsRun for the mean.
+	RoundLatencyNs atomic.Uint64
+	// ConnsOpened and ConnsClosed count ingest connections.
+	ConnsOpened, ConnsClosed atomic.Uint64
+}
+
+// Snapshot returns the counters as a name → value map (the /metrics
+// rendering order is the sorted key order).
+func (m *Metrics) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"observations_ingested_total": m.ObservationsIngested.Load(),
+		"malformed_dropped_total":     m.MalformedDropped.Load(),
+		"stale_dropped_total":         m.StaleDropped.Load(),
+		"backpressure_dropped_total":  m.BackpressureDropped.Load(),
+		"events_dropped_total":        m.EventsDropped.Load(),
+		"receivers_rejected_total":    m.ReceiversRejected.Load(),
+		"rounds_run_total":            m.RoundsRun.Load(),
+		"round_errors_total":          m.RoundErrors.Load(),
+		"rounds_coalesced_total":      m.RoundsCoalesced.Load(),
+		"suspects_flagged_total":      m.SuspectsFlagged.Load(),
+		"round_latency_ns_total":      m.RoundLatencyNs.Load(),
+		"connections_opened_total":    m.ConnsOpened.Load(),
+		"connections_closed_total":    m.ConnsClosed.Load(),
+	}
+}
+
+// AdminHandler serves the daemon's HTTP admin surface:
+//
+//	GET /healthz  — liveness, always "ok\n" while the process serves
+//	GET /metrics  — counters and registry gauges, Prometheus text format
+//
+// reg may be nil (metrics-only rendering, used before the registry
+// exists and in tests).
+func AdminHandler(m *Metrics, reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := m.Snapshot()
+		names := make([]string, 0, len(snap))
+		for name := range snap {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "voiceprintd_%s %d\n", name, snap[name])
+		}
+		if reg != nil {
+			fmt.Fprintf(w, "voiceprintd_receivers %d\n", len(reg.Receivers()))
+			fmt.Fprintf(w, "voiceprintd_identities_tracked %d\n", reg.TrackedTotal())
+			fmt.Fprintf(w, "voiceprintd_identities_evicted_total %d\n", reg.EvictedTotal())
+			fmt.Fprintf(w, "voiceprintd_identities_confirmed %d\n", reg.ConfirmedTotal())
+		}
+	})
+	return mux
+}

@@ -1,0 +1,142 @@
+// Package service turns the Voiceprint library into a long-running
+// streaming detection service: the online counterpart of the offline
+// batch CLIs, and the deployment shape the paper sketches — an OBU
+// process sitting in the vehicle's receive path, ingesting RSSI
+// observations as beacons arrive and publishing Sybil verdicts as they
+// are confirmed.
+//
+// The service is organized as four small layers:
+//
+//   - protocol: a line-delimited NDJSON wire format for observations in
+//     and verdict events out (this file),
+//   - registry: a concurrency-safe shard of per-receiver core.Monitor
+//     instances,
+//   - scheduler: a bounded worker pool running detection rounds (the
+//     O(n²) pairwise FastDTW phase additionally parallelizes inside
+//     core via Config.Workers),
+//   - server: TCP/Unix listeners with bounded per-connection ingest
+//     buffers (explicit drop accounting instead of unbounded memory),
+//     an event broadcast fan-out, and an HTTP admin surface.
+//
+// Replay mode feeds a recorded trace CSV through the same ingest path at
+// a configurable speedup, so the daemon is testable against the offline
+// fixtures and cmd/voiceprint is just "replay at infinite speed".
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"voiceprint/internal/vanet"
+)
+
+// Observation is one received beacon on the wire: a line of JSON such as
+//
+//	{"recv":901,"sender":102,"t_ms":18400,"rssi":-71.25}
+//
+// recv is the observing receiver (one physical OBU per receiver ID),
+// sender the claimed identity of the transmitter, t_ms the receiver's
+// beacon timestamp in milliseconds since its stream epoch, rssi the
+// measured signal strength in dBm.
+type Observation struct {
+	Recv   vanet.NodeID `json:"recv"`
+	Sender vanet.NodeID `json:"sender"`
+	TMs    int64        `json:"t_ms"`
+	RSSI   float64      `json:"rssi"`
+}
+
+// T returns the observation timestamp as a stream offset.
+func (o Observation) T() time.Duration { return time.Duration(o.TMs) * time.Millisecond }
+
+// ErrMalformed wraps any parse or validation failure of an inbound line.
+var ErrMalformed = errors.New("service: malformed observation")
+
+// ParseObservation parses and validates one NDJSON line.
+func ParseObservation(line []byte) (Observation, error) {
+	var o Observation
+	if err := json.Unmarshal(line, &o); err != nil {
+		return Observation{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if o.TMs < 0 {
+		return Observation{}, fmt.Errorf("%w: negative t_ms %d", ErrMalformed, o.TMs)
+	}
+	if math.IsNaN(o.RSSI) || math.IsInf(o.RSSI, 0) {
+		return Observation{}, fmt.Errorf("%w: non-finite rssi", ErrMalformed)
+	}
+	return o, nil
+}
+
+// Event is one detection-round verdict on the outbound stream: a line of
+// JSON such as
+//
+//	{"type":"round","recv":901,"t_ms":20000,"density":4.5,
+//	 "considered":9,"suspects":[1,101,102],"confirmed":[1,101,102]}
+//
+// suspects are this round's flags, confirmed the identities currently
+// confirmed under the multi-period K-of-N rule.
+type Event struct {
+	Type       string         `json:"type"`
+	Recv       vanet.NodeID   `json:"recv"`
+	TMs        int64          `json:"t_ms"`
+	Density    float64        `json:"density"`
+	Considered int            `json:"considered"`
+	Skipped    int            `json:"skipped,omitempty"`
+	Suspects   []vanet.NodeID `json:"suspects"`
+	Confirmed  []vanet.NodeID `json:"confirmed"`
+	LatencyMs  float64        `json:"latency_ms,omitempty"`
+	Error      string         `json:"error,omitempty"`
+}
+
+// EventFromOutcome renders a completed round as a wire event.
+func EventFromOutcome(o RoundOutcome) Event {
+	ev := Event{
+		Type:      "round",
+		Recv:      o.Recv,
+		TMs:       o.At.Milliseconds(),
+		LatencyMs: float64(o.Latency.Microseconds()) / 1e3,
+	}
+	if o.Err != nil {
+		ev.Error = o.Err.Error()
+		return ev
+	}
+	ev.Density = o.Result.Density
+	ev.Considered = len(o.Result.Considered)
+	ev.Skipped = o.Result.Skipped
+	ev.Suspects = sortedIDs(o.Result.Suspects)
+	ev.Confirmed = sortedIDs(o.Confirmed)
+	return ev
+}
+
+// Encode renders the event as one NDJSON line (trailing newline
+// included). Events with nil ID slices encode them as [] so consumers
+// never see null.
+func (e Event) Encode() []byte {
+	if e.Suspects == nil {
+		e.Suspects = []vanet.NodeID{}
+	}
+	if e.Confirmed == nil {
+		e.Confirmed = []vanet.NodeID{}
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		// Unreachable: Event has no unmarshalable fields.
+		b = []byte(`{"type":"error","error":"encode failure"}`)
+	}
+	return append(b, '\n')
+}
+
+// sortedIDs flattens a set of identities into an ascending slice.
+func sortedIDs(set map[vanet.NodeID]bool) []vanet.NodeID {
+	out := make([]vanet.NodeID, 0, len(set))
+	for id, v := range set {
+		if v {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"voiceprint/internal/core"
+	"voiceprint/internal/vanet"
+)
+
+// RegistryConfig configures the per-receiver monitor shard.
+type RegistryConfig struct {
+	// Monitor is the template configuration instantiated for every
+	// receiver that appears on the wire.
+	Monitor core.MonitorConfig
+	// ReorderTolerance bounds how far back in time an observation may
+	// arrive relative to its receiver's newest observation and still be
+	// accepted (clamped forward); anything older is dropped as stale.
+	// Zero means 500 ms — a handful of beacon intervals of network
+	// reordering. Negative disables tolerance (strict monotonicity).
+	ReorderTolerance time.Duration
+	// MaxReceivers bounds how many receiver monitors the registry will
+	// materialize; observations for additional receivers are dropped
+	// with accounting. Zero means 4096.
+	MaxReceivers int
+}
+
+// Registry shards observation streams into per-receiver core.Monitor
+// instances. It is safe for concurrent use by any number of ingest
+// connections and scheduler workers.
+type Registry struct {
+	cfg     RegistryConfig
+	metrics *Metrics
+
+	mu       sync.RWMutex
+	monitors map[vanet.NodeID]*core.Monitor
+}
+
+// NewRegistry builds a Registry. The monitor template is validated
+// eagerly by constructing (and discarding) one instance, so a bad
+// configuration fails at startup rather than on first beacon.
+func NewRegistry(cfg RegistryConfig, metrics *Metrics) (*Registry, error) {
+	if metrics == nil {
+		return nil, errors.New("service: nil metrics")
+	}
+	if _, err := core.NewMonitor(cfg.Monitor); err != nil {
+		return nil, fmt.Errorf("service: monitor template: %w", err)
+	}
+	if cfg.ReorderTolerance == 0 {
+		cfg.ReorderTolerance = 500 * time.Millisecond
+	}
+	if cfg.ReorderTolerance < 0 {
+		cfg.ReorderTolerance = 0
+	}
+	if cfg.MaxReceivers == 0 {
+		cfg.MaxReceivers = 4096
+	}
+	return &Registry{
+		cfg:      cfg,
+		metrics:  metrics,
+		monitors: make(map[vanet.NodeID]*core.Monitor),
+	}, nil
+}
+
+// Observe routes one observation to its receiver's monitor, creating the
+// monitor on first contact. Stale observations (older than the reorder
+// tolerance) and observations beyond the receiver capacity are dropped
+// and accounted, not errored: a drop is a normal streaming event. The
+// returned error is reserved for hard failures (corrupt monitor state).
+func (r *Registry) Observe(o Observation) error {
+	mon, err := r.monitor(o.Recv)
+	if err != nil {
+		return err
+	}
+	if mon == nil {
+		r.metrics.ReceiversRejected.Add(1)
+		return nil
+	}
+	err = mon.ObserveClamped(o.Sender, o.T(), o.RSSI, r.cfg.ReorderTolerance)
+	if errors.Is(err, core.ErrTimeBackwards) {
+		r.metrics.StaleDropped.Add(1)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	r.metrics.ObservationsIngested.Add(1)
+	return nil
+}
+
+// monitor returns the receiver's monitor, materializing it on demand;
+// nil (no error) means the registry is at capacity.
+func (r *Registry) monitor(recv vanet.NodeID) (*core.Monitor, error) {
+	r.mu.RLock()
+	mon := r.monitors[recv]
+	r.mu.RUnlock()
+	if mon != nil {
+		return mon, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if mon := r.monitors[recv]; mon != nil {
+		return mon, nil
+	}
+	if len(r.monitors) >= r.cfg.MaxReceivers {
+		return nil, nil
+	}
+	mon, err := core.NewMonitor(r.cfg.Monitor)
+	if err != nil {
+		return nil, fmt.Errorf("service: monitor for receiver %d: %w", recv, err)
+	}
+	r.monitors[recv] = mon
+	return mon, nil
+}
+
+// Monitor returns the receiver's monitor, or nil if it has never been
+// heard from.
+func (r *Registry) Monitor(recv vanet.NodeID) *core.Monitor {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.monitors[recv]
+}
+
+// Receivers lists the materialized receivers in ascending ID order.
+func (r *Registry) Receivers() []vanet.NodeID {
+	r.mu.RLock()
+	out := make([]vanet.NodeID, 0, len(r.monitors))
+	for id := range r.monitors {
+		out = append(out, id)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TrackedTotal sums the identities currently buffered across receivers.
+func (r *Registry) TrackedTotal() int {
+	total := 0
+	for _, recv := range r.Receivers() {
+		if mon := r.Monitor(recv); mon != nil {
+			total += mon.Tracked()
+		}
+	}
+	return total
+}
+
+// EvictedTotal sums the identities evicted for silence across receivers.
+func (r *Registry) EvictedTotal() uint64 {
+	var total uint64
+	for _, recv := range r.Receivers() {
+		if mon := r.Monitor(recv); mon != nil {
+			total += mon.Evicted()
+		}
+	}
+	return total
+}
+
+// ConfirmedTotal sums the identities currently confirmed as Sybil across
+// receivers.
+func (r *Registry) ConfirmedTotal() int {
+	total := 0
+	for _, recv := range r.Receivers() {
+		if mon := r.Monitor(recv); mon != nil {
+			total += len(mon.Confirmed())
+		}
+	}
+	return total
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"voiceprint/internal/core"
+	"voiceprint/internal/vanet"
+)
+
+// RoundOutcome is one completed detection round for one receiver.
+type RoundOutcome struct {
+	Recv vanet.NodeID
+	// At is the observation-window end in stream time.
+	At time.Duration
+	// Result is the round's detector output (nil when Err is set).
+	Result *core.Result
+	// Confirmed is the receiver's multi-period confirmation set after
+	// this round.
+	Confirmed map[vanet.NodeID]bool
+	// Latency is the wall-clock time the round took.
+	Latency time.Duration
+	Err     error
+}
+
+// Scheduler runs detection rounds over the registry's receivers on a
+// bounded worker pool: rounds for different receivers run in parallel
+// (each additionally parallelizing its pairwise FastDTW phase via
+// core's Config.Workers), while rounds for one receiver never overlap —
+// a tick that lands while the previous round is still running is
+// coalesced, not queued, so a slow receiver cannot build an unbounded
+// round backlog.
+type Scheduler struct {
+	reg     *Registry
+	metrics *Metrics
+	// sink, when non-nil, receives every outcome of asynchronous
+	// (Dispatch) rounds; it may be called from multiple workers at once.
+	sink func(RoundOutcome)
+
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[vanet.NodeID]bool
+}
+
+// NewScheduler builds a scheduler with the given pool size (0 means
+// GOMAXPROCS).
+func NewScheduler(reg *Registry, metrics *Metrics, workers int, sink func(RoundOutcome)) (*Scheduler, error) {
+	if reg == nil || metrics == nil {
+		return nil, errors.New("service: scheduler needs a registry and metrics")
+	}
+	if workers < 0 {
+		return nil, errors.New("service: negative worker count")
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		reg:      reg,
+		metrics:  metrics,
+		sink:     sink,
+		sem:      make(chan struct{}, workers),
+		inflight: make(map[vanet.NodeID]bool),
+	}, nil
+}
+
+// DetectAll runs one round for every materialized receiver and waits for
+// all of them, returning outcomes in ascending receiver order. at is the
+// window end in stream time; at < 0 ends each receiver's window at its
+// own newest observation (live mode), a fixed at pins every receiver to
+// the same boundary (replay mode, exact offline parity). DetectAll does
+// not feed the sink — the caller owns the returned outcomes.
+func (s *Scheduler) DetectAll(at time.Duration) []RoundOutcome {
+	recvs := s.reg.Receivers()
+	outcomes := make([]RoundOutcome, len(recvs))
+	var wg sync.WaitGroup
+	wg.Add(len(recvs))
+	for i, recv := range recvs {
+		s.sem <- struct{}{}
+		go func(i int, recv vanet.NodeID) {
+			defer func() { <-s.sem; wg.Done() }()
+			outcomes[i] = s.round(recv, at)
+		}(i, recv)
+	}
+	wg.Wait()
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].Recv < outcomes[j].Recv })
+	return outcomes
+}
+
+// DetectOne runs one synchronous round for recv with the observation
+// window ending at stream time at. Replay uses it to fire per-receiver
+// boundary rounds in stream order.
+func (s *Scheduler) DetectOne(recv vanet.NodeID, at time.Duration) RoundOutcome {
+	return s.round(recv, at)
+}
+
+// Tick asynchronously schedules one live round (window ending at the
+// newest observation) for every materialized receiver, skipping
+// receivers whose previous round is still in flight. Outcomes go to the
+// sink. It returns the number of rounds actually scheduled.
+func (s *Scheduler) Tick() int {
+	scheduled := 0
+	for _, recv := range s.reg.Receivers() {
+		if s.dispatch(recv) {
+			scheduled++
+		}
+	}
+	return scheduled
+}
+
+// dispatch schedules one asynchronous live round for recv unless one is
+// already in flight.
+func (s *Scheduler) dispatch(recv vanet.NodeID) bool {
+	s.mu.Lock()
+	if s.inflight[recv] {
+		s.mu.Unlock()
+		s.metrics.RoundsCoalesced.Add(1)
+		return false
+	}
+	s.inflight[recv] = true
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.sem <- struct{}{}
+		out := s.round(recv, -1)
+		<-s.sem
+		s.mu.Lock()
+		delete(s.inflight, recv)
+		s.mu.Unlock()
+		if s.sink != nil {
+			s.sink(out)
+		}
+	}()
+	return true
+}
+
+// Drain blocks until every asynchronously dispatched round has finished;
+// graceful shutdown calls it after the ingest listeners close.
+func (s *Scheduler) Drain() { s.wg.Wait() }
+
+// round runs one detection round and updates the metrics.
+func (s *Scheduler) round(recv vanet.NodeID, at time.Duration) RoundOutcome {
+	out := RoundOutcome{Recv: recv, At: at}
+	mon := s.reg.Monitor(recv)
+	if mon == nil {
+		out.Err = errors.New("service: unknown receiver")
+		return out
+	}
+	start := time.Now()
+	var res *core.Result
+	var err error
+	if at < 0 {
+		out.At = mon.Now()
+		res, err = mon.Detect()
+	} else {
+		res, err = mon.DetectAt(at)
+	}
+	out.Latency = time.Since(start)
+	s.metrics.RoundsRun.Add(1)
+	s.metrics.RoundLatencyNs.Add(uint64(out.Latency.Nanoseconds()))
+	if err != nil {
+		out.Err = err
+		s.metrics.RoundErrors.Add(1)
+		return out
+	}
+	out.Result = res
+	out.Confirmed = mon.Confirmed()
+	s.metrics.SuspectsFlagged.Add(uint64(len(res.Suspects)))
+	return out
+}

@@ -1,0 +1,307 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Network and Addr name the ingest listener: "tcp" with a host:port,
+	// or "unix" with a socket path.
+	Network, Addr string
+	// Registry is the per-receiver monitor shard configuration.
+	Registry RegistryConfig
+	// Period is the live detection period: how often the scheduler runs
+	// a round over every receiver. Zero means the monitor's observation
+	// window (the paper runs detection once per observation window).
+	Period time.Duration
+	// Workers bounds the scheduler's round pool; zero means GOMAXPROCS.
+	Workers int
+	// IngestBuffer is the per-connection bounded observation buffer;
+	// when a detection round briefly holds a monitor busy the buffer
+	// absorbs the burst, and overflow is shed with accounting instead of
+	// growing without bound. Zero means 4096.
+	IngestBuffer int
+	// EventBuffer is the per-connection outbound verdict buffer; slow
+	// consumers lose events (accounted), they do not stall the daemon.
+	// Zero means 256.
+	EventBuffer int
+	// MaxLineBytes caps one inbound NDJSON line; a longer line is a
+	// protocol violation that terminates the connection. Zero means 64 KiB.
+	MaxLineBytes int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	switch c.Network {
+	case "tcp", "unix":
+	default:
+		return fmt.Errorf("service: unsupported network %q (want tcp or unix)", c.Network)
+	}
+	if c.Period == 0 {
+		c.Period = c.Registry.Monitor.Detector.ObservationTime
+	}
+	if c.Period == 0 {
+		c.Period = 20 * time.Second
+	}
+	if c.Period < 0 {
+		return errors.New("service: negative period")
+	}
+	if c.IngestBuffer == 0 {
+		c.IngestBuffer = 4096
+	}
+	if c.EventBuffer == 0 {
+		c.EventBuffer = 256
+	}
+	if c.MaxLineBytes == 0 {
+		c.MaxLineBytes = 64 << 10
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Server is the streaming detection daemon: it accepts NDJSON
+// observation streams, shards them into per-receiver monitors, runs
+// detection rounds on a schedule, and broadcasts verdict events to every
+// connected client.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	reg     *Registry
+	sched   *Scheduler
+
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[*serverConn]struct{}
+	closed bool
+
+	connWG sync.WaitGroup
+}
+
+// serverConn is one client connection: observations in, events out.
+type serverConn struct {
+	c      net.Conn
+	events chan []byte
+}
+
+// NewServer builds a Server and binds its listener (so an Addr of
+// "127.0.0.1:0" is resolvable via Addr before Serve is called).
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	metrics := &Metrics{}
+	reg, err := NewRegistry(cfg.Registry, metrics)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: metrics,
+		reg:     reg,
+		conns:   make(map[*serverConn]struct{}),
+	}
+	sched, err := NewScheduler(reg, metrics, cfg.Workers, s.broadcast)
+	if err != nil {
+		return nil, err
+	}
+	s.sched = sched
+	ln, err := net.Listen(cfg.Network, cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen %s %s: %w", cfg.Network, cfg.Addr, err)
+	}
+	s.ln = ln
+	return s, nil
+}
+
+// Addr returns the bound ingest listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Metrics exposes the server's counters (the admin handler renders them).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Registry exposes the server's receiver shard.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Serve accepts connections and runs the detection schedule until ctx is
+// cancelled, then shuts down gracefully: stop accepting, close client
+// connections, and drain in-flight detection rounds. It always returns
+// a nil error after a clean context shutdown.
+func (s *Server) Serve(ctx context.Context) error {
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			c, err := s.ln.Accept()
+			if err != nil {
+				return
+			}
+			s.connWG.Add(1)
+			go func() {
+				defer s.connWG.Done()
+				s.handleConn(c)
+			}()
+		}
+	}()
+
+	ticker := time.NewTicker(s.cfg.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.sched.Tick()
+		case <-ctx.Done():
+			s.shutdown()
+			<-acceptDone
+			s.connWG.Wait()
+			s.sched.Drain()
+			return nil
+		}
+	}
+}
+
+// DetectNow synchronously runs one round for every receiver (window
+// ending at each receiver's newest observation), broadcasts the verdict
+// events, and returns the outcomes in ascending receiver order.
+func (s *Server) DetectNow() []RoundOutcome {
+	outs := s.sched.DetectAll(-1)
+	for _, out := range outs {
+		s.broadcast(out)
+	}
+	return outs
+}
+
+// shutdown closes the listener and every client connection.
+func (s *Server) shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, sc := range conns {
+		sc.c.Close()
+	}
+}
+
+// handleConn runs one client connection: a reader parsing NDJSON
+// observations into a bounded buffer, an applier feeding the registry,
+// and a writer streaming verdict events back.
+func (s *Server) handleConn(c net.Conn) {
+	s.metrics.ConnsOpened.Add(1)
+	defer s.metrics.ConnsClosed.Add(1)
+
+	sc := &serverConn{c: c, events: make(chan []byte, s.cfg.EventBuffer)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+
+	// Writer: pushes broadcast events until the event channel closes.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for b := range sc.events {
+			c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, err := c.Write(b); err != nil {
+				c.Close() // unblocks the reader; cleanup follows
+				// Drain remaining events so broadcast never blocks.
+				for range sc.events {
+					s.metrics.EventsDropped.Add(1)
+				}
+				return
+			}
+		}
+	}()
+
+	// Applier: drains the bounded ingest buffer into the registry.
+	ingest := make(chan Observation, s.cfg.IngestBuffer)
+	applierDone := make(chan struct{})
+	go func() {
+		defer close(applierDone)
+		for o := range ingest {
+			if err := s.reg.Observe(o); err != nil {
+				s.cfg.Logf("service: ingest: %v", err)
+			}
+		}
+	}()
+
+	// Reader: parse lines, shed overflow.
+	sr := bufio.NewScanner(c)
+	sr.Buffer(make([]byte, 0, 4096), s.cfg.MaxLineBytes)
+	for sr.Scan() {
+		line := bytes.TrimSpace(sr.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		o, err := ParseObservation(line)
+		if err != nil {
+			s.metrics.MalformedDropped.Add(1)
+			continue
+		}
+		if !enqueue(ingest, o, s.metrics) {
+			continue
+		}
+	}
+	if err := sr.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+		s.cfg.Logf("service: conn %v: %v", c.RemoteAddr(), err)
+	}
+
+	// Teardown: stop the applier, detach from broadcast, close the
+	// socket.
+	close(ingest)
+	<-applierDone
+	s.mu.Lock()
+	delete(s.conns, sc)
+	close(sc.events)
+	s.mu.Unlock()
+	<-writerDone
+	c.Close()
+}
+
+// enqueue attempts a non-blocking put into a bounded ingest buffer,
+// accounting the drop when the buffer is full. Backpressure here is
+// load-shedding by design: a beacon stream is a lossy medium already,
+// and the detector tolerates gaps (that is why it compares with DTW), so
+// shedding under overload beats unbounded queueing.
+func enqueue(ch chan<- Observation, o Observation, m *Metrics) bool {
+	select {
+	case ch <- o:
+		return true
+	default:
+		m.BackpressureDropped.Add(1)
+		return false
+	}
+}
+
+// broadcast fans one round outcome out to every connected client,
+// shedding events for subscribers whose outbound buffer is full.
+func (s *Server) broadcast(out RoundOutcome) {
+	b := EventFromOutcome(out).Encode()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sc := range s.conns {
+		select {
+		case sc.events <- b:
+		default:
+			s.metrics.EventsDropped.Add(1)
+		}
+	}
+}

@@ -96,26 +96,49 @@ func WriteCSV(w io.Writer, records []Record) error {
 
 // ReadCSV parses records written by WriteCSV.
 func ReadCSV(r io.Reader) ([]Record, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: read csv: %w", err)
-	}
-	if len(rows) == 0 {
-		return nil, errors.New("trace: empty csv")
-	}
-	if len(rows[0]) != len(csvHeader) || rows[0][0] != csvHeader[0] {
-		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
-	}
-	out := make([]Record, 0, len(rows)-1)
-	for i, row := range rows[1:] {
-		rec, err := parseRow(row)
-		if err != nil {
-			return nil, fmt.Errorf("trace: row %d: %w", i+2, err)
-		}
+	var out []Record
+	if err := ScanCSV(r, func(rec Record) error {
 		out = append(out, rec)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ScanCSV streams records written by WriteCSV through fn one row at a
+// time, without buffering the whole trace in memory — the replay path of
+// the streaming daemon feeds multi-hour logs through this. A non-nil
+// error from fn aborts the scan and is returned verbatim.
+func ScanCSV(r io.Reader, fn func(Record) error) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return errors.New("trace: empty csv")
+	}
+	if err != nil {
+		return fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(header) != len(csvHeader) || header[0] != csvHeader[0] {
+		return fmt.Errorf("trace: unexpected header %v", header)
+	}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: read csv: %w", err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return fmt.Errorf("trace: row %d: %w", line, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
 }
 
 func parseRow(row []string) (Record, error) {

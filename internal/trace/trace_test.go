@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -56,6 +57,54 @@ func TestCSVErrors(t *testing.T) {
 		t.Error("bad time should error")
 	}
 }
+
+func TestScanCSVStreams(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecords()
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := ScanCSV(bytes.NewReader(buf.Bytes()), func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("streamed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+
+	// A callback error aborts the scan and propagates verbatim.
+	sentinel := strings.NewReader(buf.String())
+	calls := 0
+	err := ScanCSV(sentinel, func(Record) error {
+		calls++
+		return errSentinel
+	})
+	if err != errSentinel {
+		t.Errorf("callback error = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Errorf("scan continued after callback error: %d calls", calls)
+	}
+
+	// Malformed rows fail mid-stream with the row number.
+	bad := "receiver,sender,t_ms,rssi_dbm\n1,1,100,-70\n1,1,nope,-70\n"
+	if err := ScanCSV(strings.NewReader(bad), func(Record) error { return nil }); err == nil || !strings.Contains(err.Error(), "row 3") {
+		t.Errorf("malformed row error = %v, want row 3 context", err)
+	}
+	if err := ScanCSV(strings.NewReader(""), func(Record) error { return nil }); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+var errSentinel = errors.New("sentinel")
 
 func TestJSONRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
