@@ -1,0 +1,95 @@
+package voiceprint
+
+// BENCH_pr2.json regeneration: a machine-readable record of the
+// detection hot path's cost across the sequential, parallel, and pooled
+// steady-state variants, against the pre-optimization (PR 1) baseline.
+// CI runs this once per push (see .github/workflows/ci.yml); regenerate
+// locally with
+//
+//	VOICEPRINT_BENCH_JSON=1 go test -run TestWriteBenchPR2JSON .
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// pr1Baseline is the recorded BenchmarkDetectWorkers/sequential result
+// at the PR 1 tree (commit cf13ab4) on the reference builder: every
+// round rebuilt its window copies, normalization slices, and DTW DP
+// matrices from scratch.
+var pr1Baseline = benchEntry{NsPerOp: 48_000_000, AllocsPerOp: 4554, BytesPerOp: 42_021_496}
+
+type benchEntry struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+func TestWriteBenchPR2JSON(t *testing.T) {
+	if os.Getenv("VOICEPRINT_BENCH_JSON") == "" {
+		t.Skip("set VOICEPRINT_BENCH_JSON=1 to regenerate BENCH_pr2.json")
+	}
+	series := detectBenchSeries(t)
+	variants := make(map[string]benchEntry, len(detectBenchVariants))
+	for _, bc := range detectBenchVariants {
+		cfg := DefaultDetectorConfig(benchBoundary())
+		cfg.Workers = bc.workers
+		det, err := NewDetector(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bc.warm {
+			if _, err := det.Detect(series, 40); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Detect(series, 40); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		variants[bc.name] = benchEntry{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	seq := variants["sequential"]
+	if seq.AllocsPerOp*5 > pr1Baseline.AllocsPerOp {
+		t.Errorf("sequential round allocates %d times/op; acceptance needs >=5x under the PR 1 baseline of %d",
+			seq.AllocsPerOp, pr1Baseline.AllocsPerOp)
+	}
+	doc := struct {
+		Benchmark     string                `json:"benchmark"`
+		Pairs         int                   `json:"pairs_per_round"`
+		PR1Sequential benchEntry            `json:"pr1_baseline_sequential"`
+		Variants      map[string]benchEntry `json:"variants"`
+		AllocFactor   float64               `json:"alloc_reduction_vs_pr1"`
+	}{
+		Benchmark:     "BenchmarkDetectWorkers (80 identities, highway density 40/km)",
+		Pairs:         3160,
+		PR1Sequential: pr1Baseline,
+		Variants:      variants,
+		AllocFactor:   float64(pr1Baseline.AllocsPerOp) / float64(max64(seq.AllocsPerOp, 1)),
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr2.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_pr2.json: sequential %d allocs/op vs PR 1 baseline %d (%.0fx)",
+		seq.AllocsPerOp, pr1Baseline.AllocsPerOp, doc.AllocFactor)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -92,7 +92,10 @@ func run() error {
 		if len(res.Suspects) == 0 && !*verbose {
 			continue
 		}
-		from := out.At - *observation
+		// WindowEnd is the boundary the monitor actually evaluated; with
+		// the fixed-boundary clamp it always equals the scheduled round
+		// time, never the newest observation the stream had raced ahead to.
+		from := res.WindowEnd - *observation
 		if from < 0 {
 			from = 0
 		}
@@ -101,8 +104,12 @@ func run() error {
 			suspects = append(suspects, id)
 		}
 		sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
-		fmt.Printf("receiver %d t=[%v,%v) den=%.1f considered=%d suspects=%v\n",
-			out.Recv, from, out.At, res.Density, len(res.Considered), suspects)
+		cached := ""
+		if res.Cached {
+			cached = " (cached)"
+		}
+		fmt.Printf("receiver %d t=[%v,%v) den=%.1f considered=%d suspects=%v%s\n",
+			out.Recv, from, res.WindowEnd, res.Density, len(res.Considered), suspects, cached)
 		if *verbose {
 			for _, p := range res.Pairs {
 				fmt.Printf("  (%d,%d) raw=%.5f norm=%.4f flagged=%v\n",

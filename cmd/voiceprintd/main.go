@@ -147,8 +147,9 @@ func runReplay(ctx context.Context, path string, regCfg service.RegistryConfig, 
 		return err
 	}
 	snap := metrics.Snapshot()
-	log.Printf("voiceprintd: replay done: %d observations, %d rounds, %d suspects flagged, %d stale dropped",
+	log.Printf("voiceprintd: replay done: %d observations, %d rounds (%d unchanged, served from cache), %d suspects flagged, %d stale dropped",
 		snap["observations_ingested_total"], snap["rounds_run_total"],
+		snap["rounds_skipped_unchanged_total"],
 		snap["suspects_flagged_total"], snap["stale_dropped_total"])
 	return nil
 }

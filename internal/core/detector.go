@@ -20,7 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -190,7 +190,38 @@ type Result struct {
 	Density float64
 	// Skipped counts identities dropped for having too few samples.
 	Skipped int
+	// WindowEnd is the exclusive end of the observation window the round
+	// actually evaluated. Monitors set it so a DetectAt caller can see the
+	// boundary the request resolved to (historically the monitor silently
+	// substituted its own clock).
+	WindowEnd time.Duration
+	// Confirmed is the post-round K-of-N confirmation set when the round
+	// ran under a Monitor (which folds the round into its Confirmer); nil
+	// for bare Detector rounds.
+	Confirmed map[vanet.NodeID]bool
+	// Cached reports that the round was answered from a monitor's
+	// unchanged-round cache: no new observation arrived since an earlier
+	// round with the same window end, so the detection outcome is reused.
+	Cached bool
 }
+
+// roundScratch is one detection round's reusable working memory. A pooled
+// scratch makes steady-state rounds allocate (almost) only the Result they
+// hand back — which escapes to callers and round caches — while the value
+// arena, per-identity noise estimates, and distance batches are reused.
+type roundScratch struct {
+	ids        []vanet.NodeID
+	pairIdx    [][2]int32 // (i, j) into ids per pair, nested-loop order
+	vals       []float64  // arena backing every normalized series this round
+	normalized [][]float64
+	noiseVar   []float64
+	raws       []float64
+	norm       []float64
+	med        []float64 // median-filter scratch (sorted in place)
+	noise      stats.AR1NoiseEstimator
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(roundScratch) }}
 
 // Detect runs one round over the series heard in the observation window.
 // density is the receiver's traffic-density estimate (Equation 9; see
@@ -201,62 +232,77 @@ func (d *Detector) Detect(series map[vanet.NodeID]*timeseries.Series, density fl
 	if density < 0 {
 		return nil, errors.New("core: negative density")
 	}
+	sc := scratchPool.Get().(*roundScratch)
+	defer scratchPool.Put(sc)
 	res := &Result{Suspects: make(map[vanet.NodeID]bool), Density: density}
 
 	// Phase 1 — collection (filter usable identities).
-	ids := make([]vanet.NodeID, 0, len(series))
+	sc.ids = sc.ids[:0]
 	for id, s := range series {
 		if s == nil || s.Len() < d.cfg.MinSamples {
 			res.Skipped++
 			continue
 		}
 		if d.cfg.MinMedianRSSIDBm != 0 {
-			med, err := stats.Median(s.Values())
+			sc.med = s.AppendValues(sc.med[:0])
+			med, err := stats.MedianInPlace(sc.med)
 			if err != nil || med < d.cfg.MinMedianRSSIDBm {
 				res.Skipped++
 				continue
 			}
 		}
-		ids = append(ids, id)
+		sc.ids = append(sc.ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	res.Considered = ids
-	if len(ids) < 3 {
+	slices.Sort(sc.ids)
+	res.Considered = append([]vanet.NodeID(nil), sc.ids...)
+	if len(sc.ids) < 3 {
 		return res, nil
 	}
 
-	// Phase 2 — comparison: Z-score normalize, pairwise FastDTW, then
-	// min-max normalize the distance batch.
-	normalized := make(map[vanet.NodeID][]float64, len(ids))
-	noiseVar := make(map[vanet.NodeID]float64, len(ids))
-	for _, id := range ids {
+	// Phase 2 — comparison: Z-score normalize into the value arena,
+	// pairwise FastDTW on per-worker workspaces, then min-max normalize
+	// the distance batch. Everything is indexed by position in the sorted
+	// sc.ids (not by NodeID maps), so lookups are array reads.
+	sc.vals = sc.vals[:0]
+	sc.normalized = sc.normalized[:0]
+	sc.noiseVar = sc.noiseVar[:0]
+	for _, id := range sc.ids {
+		start := len(sc.vals)
 		if d.cfg.DisableZScore {
-			normalized[id] = series[id].Values()
+			sc.vals = series[id].AppendValues(sc.vals)
 		} else {
-			z, err := series[id].ZScoreNormalize()
+			var err error
+			sc.vals, err = series[id].AppendZScored(sc.vals)
 			if err != nil {
 				return nil, fmt.Errorf("core: normalize series %d: %w", id, err)
 			}
-			normalized[id] = z.Values()
 		}
-		nu, ok := stats.EstimateAR1Noise(normalized[id])
+		// Three-index slice: a later arena grow must reallocate rather
+		// than scribble over this identity's values.
+		z := sc.vals[start:len(sc.vals):len(sc.vals)]
+		sc.normalized = append(sc.normalized, z)
+		nu, ok := sc.noise.Estimate(z)
 		if !ok {
 			// Too short to separate noise from fading: conservative
 			// first-difference bound.
-			nu = stats.RobustDiffStd(normalized[id])
+			nu = sc.noise.RobustDiffStd(z)
 		}
-		noiseVar[id] = nu * nu
+		sc.noiseVar = append(sc.noiseVar, nu*nu)
 	}
-	pairs, err := d.comparePairs(ids, normalized, noiseVar)
+	pairs, err := d.comparePairs(sc)
 	if err != nil {
 		return nil, err
 	}
 	res.Pairs = pairs
-	raws := make([]float64, len(res.Pairs))
-	for i, p := range res.Pairs {
-		raws[i] = p.Raw
+	sc.raws = sc.raws[:0]
+	for _, p := range pairs {
+		sc.raws = append(sc.raws, p.Raw)
 	}
-	norm, err := timeseries.MinMaxNormalize(raws)
+	if cap(sc.norm) < len(sc.raws) {
+		sc.norm = make([]float64, len(sc.raws))
+	}
+	sc.norm = sc.norm[:len(sc.raws)]
+	norm, err := timeseries.MinMaxNormalizeInto(sc.norm, sc.raws)
 	if err != nil {
 		return nil, fmt.Errorf("core: min-max normalize distances: %w", err)
 	}
@@ -297,20 +343,23 @@ func (d *Detector) Detect(series map[vanet.NodeID]*timeseries.Series, density fl
 }
 
 // comparePairs runs the pairwise FastDTW loop over every {i < j} pair of
-// ids, fanned out across Workers goroutines. Pairs are enumerated in the
-// usual nested-loop order and each goroutine writes only its preassigned
-// slots, so the returned slice is deterministic (identical to the
-// sequential loop) at any worker count.
-func (d *Detector) comparePairs(ids []vanet.NodeID, normalized map[vanet.NodeID][]float64, noiseVar map[vanet.NodeID]float64) ([]PairDistance, error) {
-	n := len(ids)
+// sc.ids, fanned out across Workers goroutines. Pairs are enumerated in
+// the usual nested-loop order and each goroutine writes only its
+// preassigned slots on its own dtw.Workspace, so the returned slice is
+// deterministic (identical to the sequential loop) at any worker count
+// and any pool state.
+func (d *Detector) comparePairs(sc *roundScratch) ([]PairDistance, error) {
+	n := len(sc.ids)
 	pairs := make([]PairDistance, 0, n*(n-1)/2)
+	sc.pairIdx = sc.pairIdx[:0]
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			pd := PairDistance{A: ids[i], B: ids[j]}
+			pd := PairDistance{A: sc.ids[i], B: sc.ids[j]}
 			if d.cfg.AdaptiveCapKappa > 0 {
-				pd.NoiseCap = d.cfg.AdaptiveCapKappa * (noiseVar[ids[i]] + noiseVar[ids[j]])
+				pd.NoiseCap = d.cfg.AdaptiveCapKappa * (sc.noiseVar[i] + sc.noiseVar[j])
 			}
 			pairs = append(pairs, pd)
+			sc.pairIdx = append(sc.pairIdx, [2]int32{int32(i), int32(j)})
 		}
 	}
 	workers := d.cfg.Workers
@@ -324,8 +373,11 @@ func (d *Detector) comparePairs(ids []vanet.NodeID, normalized map[vanet.NodeID]
 	// microseconds; goroutine fan-out only pays for itself on bigger
 	// rounds.
 	if workers <= 1 || len(pairs) < 16 {
+		ws := dtw.GetWorkspace()
+		defer dtw.PutWorkspace(ws)
 		for k := range pairs {
-			if err := d.comparePairAt(&pairs[k], normalized); err != nil {
+			ij := sc.pairIdx[k]
+			if err := d.comparePairAt(ws, &pairs[k], sc.normalized[ij[0]], sc.normalized[ij[1]]); err != nil {
 				return nil, err
 			}
 		}
@@ -341,12 +393,15 @@ func (d *Detector) comparePairs(ids []vanet.NodeID, normalized map[vanet.NodeID]
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ws := dtw.GetWorkspace()
+			defer dtw.PutWorkspace(ws)
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= len(pairs) {
 					return
 				}
-				if err := d.comparePairAt(&pairs[k], normalized); err != nil {
+				ij := sc.pairIdx[k]
+				if err := d.comparePairAt(ws, &pairs[k], sc.normalized[ij[0]], sc.normalized[ij[1]]); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					return
 				}
@@ -360,10 +415,10 @@ func (d *Detector) comparePairs(ids []vanet.NodeID, normalized map[vanet.NodeID]
 	return pairs, nil
 }
 
-// comparePairAt fills in one pair's raw distance in place.
-func (d *Detector) comparePairAt(pd *PairDistance, normalized map[vanet.NodeID][]float64) error {
-	a, b := normalized[pd.A], normalized[pd.B]
-	raw, err := d.compare(a, b)
+// comparePairAt fills in one pair's raw distance in place, comparing the
+// normalized series a (for pd.A) and b (for pd.B) on ws.
+func (d *Detector) comparePairAt(ws *dtw.Workspace, pd *PairDistance, a, b []float64) error {
+	raw, err := d.compare(ws, a, b)
 	if err != nil {
 		return fmt.Errorf("core: compare %d/%d: %w", pd.A, pd.B, err)
 	}
@@ -380,12 +435,11 @@ func (d *Detector) comparePairAt(pd *PairDistance, normalized map[vanet.NodeID][
 
 // compare measures one pair: banded DTW by default, unconstrained
 // FastDTW when BandRadius < 0.
-func (d *Detector) compare(a, b []float64) (float64, error) {
+func (d *Detector) compare(ws *dtw.Workspace, a, b []float64) (float64, error) {
 	if d.cfg.BandRadius < 0 {
-		return dtw.FastDistance(a, b, d.cfg.FastDTWRadius, nil)
+		return ws.FastDistance(a, b, d.cfg.FastDTWRadius, nil)
 	}
-	w := dtw.SakoeChiba(len(a), len(b), d.cfg.BandRadius)
-	return dtw.ConstrainedDistance(a, b, w, nil)
+	return ws.BandedDistance(a, b, d.cfg.BandRadius, nil)
 }
 
 // Config returns the detector's effective configuration.

@@ -508,3 +508,38 @@ func TestDetectParallelDeterminism(t *testing.T) {
 		t.Error("negative Workers should error")
 	}
 }
+
+// TestDetectSteadyStateAllocs pins the sequential round's allocation
+// budget: after warm-up a detection round allocates only the escaping
+// Result payload (struct, suspect map, considered copy, pair slice) —
+// every intermediate buffer comes from pooled scratch. A regression here
+// means the hot path started allocating again.
+func TestDetectSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates allocation counts")
+	}
+	rng := rand.New(rand.NewSource(125))
+	series := sybilCluster(rng, 12) // 15 identities, 105 pairs
+	cfg := DefaultConfig(testBoundary())
+	cfg.MinMedianRSSIDBm = 0
+	cfg.Workers = 1 // goroutine fan-out itself allocates; pin the core path
+	det, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // warm the scratch and workspace pools
+		if _, err := det.Detect(series, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := det.Detect(series, 20); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 105 pairs used to cost ~55 allocations per identity plus one per
+	// pair; the budget leaves headroom for the Result payload only.
+	if allocs > 12 {
+		t.Errorf("steady-state round allocates %.0f times, budget is 12", allocs)
+	}
+}

@@ -33,6 +33,22 @@ type Monitor struct {
 	lastObs    map[vanet.NodeID]time.Duration
 	now        time.Duration
 	evicted    uint64
+
+	// version counts accepted observations and evictions; together with a
+	// round's window end it fingerprints the detector input, so a round
+	// whose fingerprint matches the previous one can reuse its Result.
+	version uint64
+	// input, views and heard are reused across rounds: input is the map
+	// handed to the detector, views holds one zero-copy window header per
+	// tracked identity, heard collects the ids seen this window.
+	input map[vanet.NodeID]*timeseries.Series
+	views map[vanet.NodeID]*timeseries.Series
+	heard []vanet.NodeID
+	// Unchanged-round cache: the previous round's result and fingerprint.
+	lastRes *Result
+	lastVer uint64
+	lastEnd time.Duration
+	cached  uint64
 }
 
 // MonitorConfig configures a Monitor.
@@ -114,6 +130,7 @@ func (m *Monitor) Observe(id vanet.NodeID, t time.Duration, rssi float64) error 
 		return err
 	}
 	m.lastObs[id] = t
+	m.version++
 	return nil
 }
 
@@ -142,6 +159,7 @@ func (m *Monitor) ObserveClamped(id vanet.NodeID, t time.Duration, rssi float64,
 		return err
 	}
 	m.lastObs[id] = t
+	m.version++
 	return nil
 }
 
@@ -155,41 +173,75 @@ func (m *Monitor) Detect() (*Result, error) {
 }
 
 // DetectAt runs a detection round with the observation window ending at
-// now (advancing the monitor clock to it if ahead). Schedulers use it to
-// fire rounds at exact period boundaries even when no beacon landed on
-// the boundary instant.
-func (m *Monitor) DetectAt(now time.Duration) (*Result, error) {
+// the requested boundary at (inclusive), advancing the monitor clock to
+// it when ahead. Schedulers use it to fire rounds at exact period
+// boundaries even when no beacon landed on the boundary instant. When
+// observations have already streamed past the boundary the round still
+// evaluates the requested window — it does not drift forward to the
+// newest observation (the pre-fix behaviour); Result.WindowEnd reports
+// the boundary actually used. Eviction is still governed by the monotone
+// monitor clock, so a long-past boundary sees only retained history.
+func (m *Monitor) DetectAt(at time.Duration) (*Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if now > m.now {
-		m.now = now
+	if at > m.now {
+		m.now = at
 	}
-	return m.detectAtLocked(m.now)
+	return m.detectAtLocked(at)
 }
 
-func (m *Monitor) detectAtLocked(now time.Duration) (*Result, error) {
-	from := now - m.window
+// detectAtLocked runs one round with the window ending at end. Results
+// are shared with the unchanged-round cache, so callers must treat the
+// returned Result as read-only.
+func (m *Monitor) detectAtLocked(end time.Duration) (*Result, error) {
+	m.evictLocked()
+	if m.lastRes != nil && m.version == m.lastVer && end == m.lastEnd {
+		// Unchanged round: no observation or eviction since the previous
+		// round, same window end, hence bit-identical detector input. Only
+		// the confirmation history must still advance — the K-of-N rule
+		// counts rounds, not observations — and the density estimator's
+		// Record is idempotent for an unchanged suspect set.
+		m.cached++
+		cp := *m.lastRes
+		m.estimator.Record(cp.Suspects)
+		cp.Confirmed = m.confirmer.Update(cp.Considered, cp.Suspects)
+		cp.Cached = true
+		return &cp, nil
+	}
+	from := end - m.window
 	if from < 0 {
 		from = 0
 	}
-	m.evictLocked()
-	input := make(map[vanet.NodeID]*timeseries.Series, len(m.series))
-	heard := make([]vanet.NodeID, 0, len(m.series))
+	if m.input == nil {
+		m.input = make(map[vanet.NodeID]*timeseries.Series, len(m.series))
+		m.views = make(map[vanet.NodeID]*timeseries.Series, len(m.series))
+	}
+	clear(m.input)
+	m.heard = m.heard[:0]
 	for id, s := range m.series {
-		w := s.Window(from, now+1)
-		if w.Len() == 0 {
+		v := m.views[id]
+		if v == nil {
+			v = &timeseries.Series{}
+			m.views[id] = v
+		}
+		s.WindowViewInto(from, end+1, v)
+		if v.Len() == 0 {
 			continue
 		}
-		input[id] = w
-		heard = append(heard, id)
+		m.input[id] = v
+		m.heard = append(m.heard, id)
 	}
-	density := m.estimator.Estimate(heard)
-	res, err := m.det.Detect(input, density)
+	density := m.estimator.Estimate(m.heard)
+	res, err := m.det.Detect(m.input, density)
 	if err != nil {
 		return nil, err
 	}
+	res.WindowEnd = end
 	m.estimator.Record(res.Suspects)
-	m.confirmer.Update(res.Considered, res.Suspects)
+	res.Confirmed = m.confirmer.Update(res.Considered, res.Suspects)
+	m.lastRes = res
+	m.lastVer = m.version
+	m.lastEnd = end
 	return res, nil
 }
 
@@ -224,6 +276,15 @@ func (m *Monitor) Evicted() uint64 {
 	return m.evicted
 }
 
+// CachedRounds returns how many detection rounds were answered from the
+// unchanged-round cache (same observations, same window end as the
+// previous round).
+func (m *Monitor) CachedRounds() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cached
+}
+
 // evictLocked drops identities that have gone silent, bounding memory on
 // long drives past thousands of vehicles. Callers hold m.mu.
 func (m *Monitor) evictLocked() {
@@ -231,13 +292,16 @@ func (m *Monitor) evictLocked() {
 		if m.now-last > m.evictAfter {
 			delete(m.series, id)
 			delete(m.lastObs, id)
+			delete(m.views, id)
 			m.confirmer.Forget(id)
 			m.evicted++
+			m.version++
 		}
 	}
-	// Rebuild buffers so evicted history does not pin backing arrays; the
-	// kept series also shrink to the relevant horizon (never narrower
-	// than the observation window, even with an aggressive EvictAfter).
+	// Trim retired history in place (amortized O(1), no allocation) so
+	// evicted prefixes do not pin memory forever; the kept series never
+	// shrink below the observation window, even with an aggressive
+	// EvictAfter.
 	keep := m.evictAfter
 	if m.window > keep {
 		keep = m.window
@@ -246,7 +310,7 @@ func (m *Monitor) evictLocked() {
 	if from < 0 {
 		return
 	}
-	for id, s := range m.series {
-		m.series[id] = s.Window(from, m.now+1)
+	for _, s := range m.series {
+		s.TrimBefore(from)
 	}
 }

@@ -283,3 +283,148 @@ func TestMonitorMultiPeriodConfirmation(t *testing.T) {
 		t.Error("repeat offenders should be confirmed after two rounds")
 	}
 }
+
+// TestDetectAtHonorsRequestedBoundary is the regression test for the
+// fixed-boundary drift bug: DetectAt(at) used to run the round at
+// max(at, monitor clock), so once observations streamed past the boundary
+// the requested window silently widened to the newest beacon. An identity
+// heard only AFTER the boundary must not appear in the round.
+func TestDetectAtHonorsRequestedBoundary(t *testing.T) {
+	m := testMonitor(t, 1, 1)
+	for step := 0; step <= 240; step++ { // 0..24 s at 10 Hz
+		at := time.Duration(step) * beat
+		for _, id := range []vanet.NodeID{1, 2, 3} {
+			if err := m.Observe(id, at, -60-float64(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if at > 20*time.Second {
+			// Identity 99 exists only in (20 s, 24 s]: 39 samples, enough
+			// to clear MinSamples if it leaked into the window.
+			if err := m.Observe(99, at, -55); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	boundary := 20 * time.Second
+	res, err := m.DetectAt(boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WindowEnd != boundary {
+		t.Errorf("WindowEnd = %v, want the requested boundary %v", res.WindowEnd, boundary)
+	}
+	for _, id := range res.Considered {
+		if id == 99 {
+			t.Fatalf("identity heard only after the %v boundary leaked into the round (Considered = %v)",
+				boundary, res.Considered)
+		}
+	}
+	if len(res.Considered) != 3 {
+		t.Errorf("Considered = %v, want ids 1..3", res.Considered)
+	}
+	if m.Now() < 24*time.Second {
+		t.Errorf("monitor clock regressed to %v", m.Now())
+	}
+}
+
+// TestMonitorUnchangedRoundCache: a round whose input fingerprint
+// (observation version, window end) matches the previous round reuses its
+// result — but the K-of-N confirmation history must still advance.
+func TestMonitorUnchangedRoundCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	m := testMonitor(t, 5, 3)
+	series := sybilCluster(rng, 5)
+	maxLen := 0
+	for _, s := range series {
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	idx := make(map[vanet.NodeID]int, len(series))
+	for step := 0; step < maxLen; step++ {
+		for id, s := range series {
+			i := idx[id]
+			if i >= s.Len() {
+				continue
+			}
+			if s.At(i).T <= time.Duration(step)*beat {
+				if err := m.Observe(id, time.Duration(step)*beat, s.At(i).RSSI); err != nil {
+					t.Fatal(err)
+				}
+				idx[id] = i + 1
+			}
+		}
+	}
+	res1, err := m.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cached {
+		t.Fatal("first round must not be cached")
+	}
+	if len(res1.Suspects) == 0 {
+		t.Fatal("cluster not flagged; cache test needs a flagging round")
+	}
+	if len(res1.Confirmed) != 0 {
+		t.Fatalf("confirmed after 1 of need-3 rounds: %v", res1.Confirmed)
+	}
+	res2, err := m.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Fatal("identical second round should hit the unchanged-round cache")
+	}
+	res3, err := m.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.Cached {
+		t.Fatal("identical third round should hit the unchanged-round cache")
+	}
+	if m.CachedRounds() != 2 {
+		t.Errorf("CachedRounds = %d, want 2", m.CachedRounds())
+	}
+	// Bit-identical payload.
+	if len(res2.Pairs) != len(res1.Pairs) || res2.WindowEnd != res1.WindowEnd {
+		t.Errorf("cached round differs: %d pairs end %v vs %d pairs end %v",
+			len(res2.Pairs), res2.WindowEnd, len(res1.Pairs), res1.WindowEnd)
+	}
+	for i := range res1.Pairs {
+		if res1.Pairs[i] != res2.Pairs[i] {
+			t.Fatalf("cached pair %d differs: %+v vs %+v", i, res2.Pairs[i], res1.Pairs[i])
+		}
+	}
+	for id := range res1.Suspects {
+		if !res3.Suspects[id] {
+			t.Errorf("cached round lost suspect %d", id)
+		}
+	}
+	// Three flagging rounds → the 3-of-5 rule confirms, proving cached
+	// rounds still advance the confirmation history.
+	for id := range res1.Suspects {
+		if !res3.Confirmed[id] {
+			t.Errorf("suspect %d not confirmed after 3 rounds (cached rounds must advance K-of-N)", id)
+		}
+	}
+	// A new observation invalidates the cache.
+	if err := m.Observe(1, m.Now()+beat, -60); err != nil {
+		t.Fatal(err)
+	}
+	res4, err := m.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Cached {
+		t.Error("round after a new observation must not be cached")
+	}
+	// Same version but a different window end is also a miss.
+	res5, err := m.DetectAt(m.Now() + time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res5.Cached {
+		t.Error("round at a new window end must not be cached")
+	}
+}

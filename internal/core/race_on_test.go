@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation inflates allocation counts.
+const raceEnabled = true

@@ -2,16 +2,26 @@
 // paper's Equations 3-6 (squared pointwise cost, accumulated-cost recursion,
 // boundary and monotonicity constraints), plus the FastDTW approximation of
 // Salvador & Chan used by the Voiceprint detector for O(N) comparison.
+//
+// Every distance variant runs on reusable scratch memory (Workspace): the
+// package-level functions borrow a pooled workspace per call, and hot
+// loops (the detector's pairwise comparison phase) hold one workspace per
+// goroutine so thousands of comparisons per round allocate nothing.
 package dtw
 
 import (
 	"errors"
-	"fmt"
 	"math"
-	"reflect"
 )
 
 // CostFunc measures the local cost of matching two points.
+//
+// A nil CostFunc selects the squared cost of Equation 3 via an inline
+// fast path (no indirect calls). Passing SquaredCost explicitly computes
+// the same distances through the generic (slower) path — the nil
+// sentinel is the only fast-path trigger, deliberately: detecting
+// "is this SquaredCost?" by comparing function pointers breaks under
+// wrapping and inlining.
 type CostFunc func(a, b float64) float64
 
 // SquaredCost is the paper's Equation 3: c(i,j) = (x_i - y_j)^2.
@@ -29,81 +39,14 @@ func AbsCost(a, b float64) float64 {
 // ErrEmptySeries is returned when either input series is empty.
 var ErrEmptySeries = errors.New("dtw: empty series")
 
-// isSquaredCost reports whether cost is the default SquaredCost, enabling
-// the inline fast path in the windowed DP.
-func isSquaredCost(cost CostFunc) bool {
-	return cost == nil ||
-		reflect.ValueOf(cost).Pointer() == reflect.ValueOf(SquaredCost).Pointer()
-}
-
 // Distance computes the exact DTW distance between x and y with the given
 // cost function (nil means SquaredCost). It runs in O(N*M) time and O(M)
-// memory (two rolling rows, no path reconstruction).
+// memory (two rolling rows, no path reconstruction), on pooled scratch.
 func Distance(x, y []float64, cost CostFunc) (float64, error) {
-	if len(x) == 0 || len(y) == 0 {
-		return 0, ErrEmptySeries
-	}
-	if cost == nil {
-		return distanceSquared(x, y), nil
-	}
-	m := len(y)
-	prev := make([]float64, m)
-	cur := make([]float64, m)
-
-	prev[0] = cost(x[0], y[0])
-	for j := 1; j < m; j++ {
-		prev[j] = prev[j-1] + cost(x[0], y[j])
-	}
-	for i := 1; i < len(x); i++ {
-		cur[0] = prev[0] + cost(x[i], y[0])
-		for j := 1; j < m; j++ {
-			best := prev[j] // insertion (advance i only)
-			if prev[j-1] < best {
-				best = prev[j-1] // diagonal match
-			}
-			if cur[j-1] < best {
-				best = cur[j-1] // deletion (advance j only)
-			}
-			cur[j] = best + cost(x[i], y[j])
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m-1], nil
-}
-
-// distanceSquared is Distance specialized to the default squared cost:
-// the detector's hot path (every pairwise comparison of every detection
-// round goes through here), kept free of indirect calls and bounds-checked
-// tightly.
-func distanceSquared(x, y []float64) float64 {
-	m := len(y)
-	prev := make([]float64, m)
-	cur := make([]float64, m)
-
-	d := x[0] - y[0]
-	prev[0] = d * d
-	for j := 1; j < m; j++ {
-		d = x[0] - y[j]
-		prev[j] = prev[j-1] + d*d
-	}
-	for i := 1; i < len(x); i++ {
-		xi := x[i]
-		d = xi - y[0]
-		cur[0] = prev[0] + d*d
-		for j := 1; j < m; j++ {
-			best := prev[j]
-			if prev[j-1] < best {
-				best = prev[j-1]
-			}
-			if cur[j-1] < best {
-				best = cur[j-1]
-			}
-			d = xi - y[j]
-			cur[j] = best + d*d
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m-1]
+	ws := GetWorkspace()
+	d, err := ws.Distance(x, y, cost)
+	PutWorkspace(ws)
+	return d, err
 }
 
 // DistanceWithPath computes the exact DTW distance and the optimal warp
@@ -113,168 +56,19 @@ func DistanceWithPath(x, y []float64, cost CostFunc) (float64, Path, error) {
 	if len(x) == 0 || len(y) == 0 {
 		return 0, nil, ErrEmptySeries
 	}
-	if cost == nil {
-		cost = SquaredCost
-	}
-	n, m := len(x), len(y)
-	d := make([]float64, n*m)
-	idx := func(i, j int) int { return i*m + j }
-
-	d[idx(0, 0)] = cost(x[0], y[0])
-	for j := 1; j < m; j++ {
-		d[idx(0, j)] = d[idx(0, j-1)] + cost(x[0], y[j])
-	}
-	for i := 1; i < n; i++ {
-		d[idx(i, 0)] = d[idx(i-1, 0)] + cost(x[i], y[0])
-		for j := 1; j < m; j++ {
-			best := d[idx(i-1, j)]
-			if v := d[idx(i-1, j-1)]; v < best {
-				best = v
-			}
-			if v := d[idx(i, j-1)]; v < best {
-				best = v
-			}
-			d[idx(i, j)] = best + cost(x[i], y[j])
-		}
-	}
-
-	// Backtrack from (n-1, m-1), preferring the diagonal on ties, which
-	// yields the shortest optimal path.
-	path := make(Path, 0, n+m)
-	i, j := n-1, m-1
-	path = append(path, Pair{i, j})
-	for i > 0 || j > 0 {
-		switch {
-		case i == 0:
-			j--
-		case j == 0:
-			i--
-		default:
-			diag := d[idx(i-1, j-1)]
-			up := d[idx(i-1, j)]
-			left := d[idx(i, j-1)]
-			if diag <= up && diag <= left {
-				i--
-				j--
-			} else if up <= left {
-				i--
-			} else {
-				j--
-			}
-		}
-		path = append(path, Pair{i, j})
-	}
-	// Reverse into forward order, w_1 = (0,0) ... w_K = (n-1, m-1).
-	for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
-		path[a], path[b] = path[b], path[a]
-	}
-	return d[idx(n-1, m-1)], path, nil
+	ws := GetWorkspace()
+	d, path, err := ws.fullPath(x, y, cost, nil)
+	PutWorkspace(ws)
+	return d, path, err
 }
 
-// constrainedDistance runs the DTW recursion over the cells admitted by w
-// only; cells outside the window are treated as +Inf. The window must
-// include (0,0) and (n-1, m-1) and be row-contiguous, which both
-// Sakoe-Chiba bands and FastDTW expanded windows guarantee.
+// constrainedDistance runs the windowed DTW recursion on a pooled
+// workspace; see Workspace.constrained for the contract.
 func constrainedDistance(x, y []float64, w *Window, cost CostFunc, wantPath bool) (float64, Path, error) {
-	if len(x) == 0 || len(y) == 0 {
-		return 0, nil, ErrEmptySeries
-	}
-	if cost == nil {
-		cost = SquaredCost
-	}
-	n, m := len(x), len(y)
-	if err := w.validate(n, m); err != nil {
-		return 0, nil, err
-	}
-
-	// Total window cells in one backing array keeps allocations flat.
-	backing := make([]float64, w.Size())
-	rows := make([][]float64, n)
-	for i, off := 0, 0; i < n; i++ {
-		width := w.hi[i] - w.lo[i] + 1
-		rows[i] = backing[off : off+width]
-		off += width
-	}
-	get := func(i, j int) float64 {
-		if i < 0 || j < 0 || j < w.lo[i] || j > w.hi[i] {
-			return math.Inf(1)
-		}
-		return rows[i][j-w.lo[i]]
-	}
-	inf := math.Inf(1)
-	useSquared := isSquaredCost(cost)
-	for i := 0; i < n; i++ {
-		row := rows[i]
-		lo, hi := w.lo[i], w.hi[i]
-		var prevRow []float64
-		plo := 0
-		if i > 0 {
-			prevRow = rows[i-1]
-			plo = w.lo[i-1]
-		}
-		xi := x[i]
-		for j := lo; j <= hi; j++ {
-			var c float64
-			if useSquared {
-				d := xi - y[j]
-				c = d * d
-			} else {
-				c = cost(xi, y[j])
-			}
-			if i == 0 && j == 0 {
-				row[0] = c
-				continue
-			}
-			best := inf
-			if prevRow != nil {
-				if k := j - plo; k >= 0 && k < len(prevRow) {
-					if v := prevRow[k]; v < best {
-						best = v
-					}
-				}
-				if k := j - 1 - plo; k >= 0 && k < len(prevRow) {
-					if v := prevRow[k]; v < best {
-						best = v
-					}
-				}
-			}
-			if j-1 >= lo {
-				if v := row[j-1-lo]; v < best {
-					best = v
-				}
-			}
-			if math.IsInf(best, 1) {
-				return 0, nil, fmt.Errorf("dtw: window disconnected at cell (%d,%d)", i, j)
-			}
-			row[j-lo] = c + best
-		}
-	}
-	total := get(n-1, m-1)
-	if !wantPath {
-		return total, nil, nil
-	}
-
-	path := make(Path, 0, n+m)
-	i, j := n-1, m-1
-	path = append(path, Pair{i, j})
-	for i > 0 || j > 0 {
-		diag := get(i-1, j-1)
-		up := get(i-1, j)
-		left := get(i, j-1)
-		if diag <= up && diag <= left {
-			i--
-			j--
-		} else if up <= left {
-			i--
-		} else {
-			j--
-		}
-		path = append(path, Pair{i, j})
-	}
-	for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
-		path[a], path[b] = path[b], path[a]
-	}
-	return total, path, nil
+	ws := GetWorkspace()
+	d, path, err := ws.constrained(x, y, w, cost, wantPath, nil)
+	PutWorkspace(ws)
+	return d, path, err
 }
 
 // ConstrainedDistance computes DTW restricted to a window (e.g. a

@@ -17,9 +17,6 @@ func FastDTW(x, y []float64, radius int, cost CostFunc) (float64, Path, error) {
 	if radius < 0 {
 		radius = 0
 	}
-	if cost == nil {
-		cost = SquaredCost
-	}
 	minSize := radius + 2
 	if len(x) <= minSize || len(y) <= minSize {
 		return DistanceWithPath(x, y, cost)
@@ -36,42 +33,19 @@ func FastDTW(x, y []float64, radius int, cost CostFunc) (float64, Path, error) {
 }
 
 // FastDistance is FastDTW without path reconstruction at the top level.
-// (Recursion below the top level still builds paths, which is inherent to
-// the algorithm; the top-level DP dominates the cost.)
+// It runs the whole pyramid — shrink levels, projected warp paths,
+// windowed DPs — on a pooled Workspace, so steady-state calls allocate
+// nothing; hold a Workspace per goroutine and call its FastDistance
+// method to skip even the pool round-trip.
 func FastDistance(x, y []float64, radius int, cost CostFunc) (float64, error) {
-	if len(x) == 0 || len(y) == 0 {
-		return 0, ErrEmptySeries
-	}
-	if radius < 0 {
-		radius = 0
-	}
-	if cost == nil {
-		cost = SquaredCost
-	}
-	minSize := radius + 2
-	if len(x) <= minSize || len(y) <= minSize {
-		return Distance(x, y, cost)
-	}
-	shrunkX := reduceByHalf(x)
-	shrunkY := reduceByHalf(y)
-	_, lowPath, err := FastDTW(shrunkX, shrunkY, radius, cost)
-	if err != nil {
-		return 0, err
-	}
-	w := expandedWindow(lowPath, len(x), len(y), radius)
-	d, _, err := constrainedDistance(x, y, w, cost, false)
+	ws := GetWorkspace()
+	d, err := ws.FastDistance(x, y, radius, cost)
+	PutWorkspace(ws)
 	return d, err
 }
 
 // reduceByHalf halves the resolution of a series by averaging adjacent
 // pairs; an odd trailing element is kept as-is.
 func reduceByHalf(x []float64) []float64 {
-	out := make([]float64, 0, (len(x)+1)/2)
-	for i := 0; i+1 < len(x); i += 2 {
-		out = append(out, (x[i]+x[i+1])/2)
-	}
-	if len(x)%2 == 1 {
-		out = append(out, x[len(x)-1])
-	}
-	return out
+	return reduceByHalfInto(make([]float64, 0, (len(x)+1)/2), x)
 }

@@ -21,10 +21,19 @@ func FullWindow(n, m int) *Window {
 // SakoeChiba returns the classic band window of the given radius around
 // the resampled diagonal of an n-by-m matrix.
 func SakoeChiba(n, m, radius int) *Window {
+	w := &Window{lo: make([]int, n), hi: make([]int, n)}
+	sakoeChibaFill(w, m, radius)
+	return w
+}
+
+// sakoeChibaFill populates w (whose lo/hi slices are already sized to n
+// rows) with the Sakoe-Chiba band of the given radius. Workspaces use it
+// to rebuild the band in scratch without allocating.
+func sakoeChibaFill(w *Window, m, radius int) {
 	if radius < 0 {
 		radius = 0
 	}
-	w := &Window{lo: make([]int, n), hi: make([]int, n)}
+	n := len(w.lo)
 	for i := 0; i < n; i++ {
 		// Project row i onto the diagonal of the (possibly non-square)
 		// matrix, then widen by the radius.
@@ -44,7 +53,6 @@ func SakoeChiba(n, m, radius int) *Window {
 		w.hi[i] = hi
 	}
 	w.makeContiguous(m)
-	return w
 }
 
 // Size returns the number of admitted cells.
@@ -122,6 +130,14 @@ func (w *Window) makeContiguous(m int) {
 // radius cells in every direction.
 func expandedWindow(lowPath Path, n, m, radius int) *Window {
 	w := &Window{lo: make([]int, n), hi: make([]int, n)}
+	expandedWindowFill(w, lowPath, m, radius)
+	return w
+}
+
+// expandedWindowFill is expandedWindow into a pre-sized window (n rows
+// implied by len(w.lo)), reused by workspace FastDTW unwinding.
+func expandedWindowFill(w *Window, lowPath Path, m, radius int) {
+	n := len(w.lo)
 	for i := range w.lo {
 		w.lo[i] = m // sentinel: empty
 		w.hi[i] = -1
@@ -165,5 +181,4 @@ func expandedWindow(lowPath Path, n, m, radius int) *Window {
 		}
 	}
 	w.makeContiguous(m)
-	return w
 }

@@ -37,6 +37,11 @@ type Metrics struct {
 	// RoundsCoalesced counts scheduled rounds skipped because the same
 	// receiver's previous round was still in flight.
 	RoundsCoalesced atomic.Uint64
+	// RoundsSkippedUnchanged counts rounds answered from a monitor's
+	// unchanged-round cache: no observation arrived for the receiver since
+	// its previous round at the same window end, so the full detection
+	// pipeline was short-circuited.
+	RoundsSkippedUnchanged atomic.Uint64
 	// SuspectsFlagged counts identity flags summed over rounds.
 	SuspectsFlagged atomic.Uint64
 	// RoundLatencyNs accumulates wall-clock nanoseconds spent in rounds;
@@ -50,19 +55,20 @@ type Metrics struct {
 // rendering order is the sorted key order).
 func (m *Metrics) Snapshot() map[string]uint64 {
 	return map[string]uint64{
-		"observations_ingested_total": m.ObservationsIngested.Load(),
-		"malformed_dropped_total":     m.MalformedDropped.Load(),
-		"stale_dropped_total":         m.StaleDropped.Load(),
-		"backpressure_dropped_total":  m.BackpressureDropped.Load(),
-		"events_dropped_total":        m.EventsDropped.Load(),
-		"receivers_rejected_total":    m.ReceiversRejected.Load(),
-		"rounds_run_total":            m.RoundsRun.Load(),
-		"round_errors_total":          m.RoundErrors.Load(),
-		"rounds_coalesced_total":      m.RoundsCoalesced.Load(),
-		"suspects_flagged_total":      m.SuspectsFlagged.Load(),
-		"round_latency_ns_total":      m.RoundLatencyNs.Load(),
-		"connections_opened_total":    m.ConnsOpened.Load(),
-		"connections_closed_total":    m.ConnsClosed.Load(),
+		"observations_ingested_total":    m.ObservationsIngested.Load(),
+		"malformed_dropped_total":        m.MalformedDropped.Load(),
+		"stale_dropped_total":            m.StaleDropped.Load(),
+		"backpressure_dropped_total":     m.BackpressureDropped.Load(),
+		"events_dropped_total":           m.EventsDropped.Load(),
+		"receivers_rejected_total":       m.ReceiversRejected.Load(),
+		"rounds_run_total":               m.RoundsRun.Load(),
+		"round_errors_total":             m.RoundErrors.Load(),
+		"rounds_coalesced_total":         m.RoundsCoalesced.Load(),
+		"rounds_skipped_unchanged_total": m.RoundsSkippedUnchanged.Load(),
+		"suspects_flagged_total":         m.SuspectsFlagged.Load(),
+		"round_latency_ns_total":         m.RoundLatencyNs.Load(),
+		"connections_opened_total":       m.ConnsOpened.Load(),
+		"connections_closed_total":       m.ConnsClosed.Load(),
 	}
 }
 

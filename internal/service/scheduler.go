@@ -156,7 +156,6 @@ func (s *Scheduler) round(recv vanet.NodeID, at time.Duration) RoundOutcome {
 	var res *core.Result
 	var err error
 	if at < 0 {
-		out.At = mon.Now()
 		res, err = mon.Detect()
 	} else {
 		res, err = mon.DetectAt(at)
@@ -170,7 +169,15 @@ func (s *Scheduler) round(recv vanet.NodeID, at time.Duration) RoundOutcome {
 		return out
 	}
 	out.Result = res
-	out.Confirmed = mon.Confirmed()
+	// The round already carries the window end it evaluated and the
+	// post-round confirmation set built under the monitor's lock — no
+	// second Confirmed() lock round-trip, and no race between reading the
+	// clock and running the round.
+	out.At = res.WindowEnd
+	out.Confirmed = res.Confirmed
+	if res.Cached {
+		s.metrics.RoundsSkippedUnchanged.Add(1)
+	}
 	s.metrics.SuspectsFlagged.Add(uint64(len(res.Suspects)))
 	return out
 }

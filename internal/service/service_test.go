@@ -628,3 +628,90 @@ func TestServerUnixSocket(t *testing.T) {
 		return srv.Metrics().ObservationsIngested.Load() == 1
 	})
 }
+
+// TestConcurrentIngestAndRounds drives Registry.Observe from multiple
+// ingest goroutines while the scheduler ticks asynchronous rounds and
+// fires synchronous DetectAll sweeps — the daemon's steady state.
+// Run under -race this pins the monitor's reused round scratch (views,
+// input map, unchanged-round cache) as properly serialized.
+func TestConcurrentIngestAndRounds(t *testing.T) {
+	metrics := &Metrics{}
+	reg, err := NewRegistry(RegistryConfig{Monitor: testMonitorConfig()}, metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcomes sync.Map
+	sched, err := NewScheduler(reg, metrics, 4, func(out RoundOutcome) {
+		if out.Err != nil {
+			t.Error(out.Err)
+		}
+		outcomes.Store(out.Recv, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := sybilTrace(77, []vanet.NodeID{501, 502, 503}, 5, 25*time.Second)
+	perRecv := make(map[vanet.NodeID][]trace.Record)
+	for _, rec := range records {
+		perRecv[rec.Receiver] = append(perRecv[rec.Receiver], rec)
+	}
+	var wg sync.WaitGroup
+	for _, recs := range perRecv {
+		wg.Add(1)
+		go func(recs []trace.Record) {
+			defer wg.Done()
+			for _, rec := range recs {
+				err := reg.Observe(Observation{
+					Recv:   rec.Receiver,
+					Sender: rec.Sender,
+					TMs:    rec.T.Milliseconds(),
+					RSSI:   rec.RSSI,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(recs)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		sched.Tick()
+		_ = sched.DetectAll(-1)
+		select {
+		case <-done:
+			sched.Drain()
+			// Ingest has stopped: two identical full sweeps back to back
+			// must hit every monitor's unchanged-round cache.
+			_ = sched.DetectAll(-1)
+			before := metrics.RoundsSkippedUnchanged.Load()
+			outs := sched.DetectAll(-1)
+			for _, out := range outs {
+				if out.Err != nil {
+					t.Fatal(out.Err)
+				}
+				if !out.Result.Cached {
+					t.Errorf("receiver %d: repeat round at unchanged input not served from cache", out.Recv)
+				}
+				if out.At != out.Result.WindowEnd {
+					t.Errorf("receiver %d: outcome At %v != WindowEnd %v", out.Recv, out.At, out.Result.WindowEnd)
+				}
+			}
+			if got := metrics.RoundsSkippedUnchanged.Load() - before; got != uint64(len(outs)) {
+				t.Errorf("rounds_skipped_unchanged grew by %d, want %d", got, len(outs))
+			}
+			for _, recv := range []vanet.NodeID{501, 502, 503} {
+				out, ok := outcomes.Load(recv)
+				if !ok {
+					continue // Tick may never have caught this receiver idle
+				}
+				if out.(RoundOutcome).Err != nil {
+					t.Errorf("receiver %d: async round error %v", recv, out.(RoundOutcome).Err)
+				}
+			}
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -110,6 +110,34 @@ func Median(xs []float64) (float64, error) {
 	return Quantile(xs, 0.5)
 }
 
+// QuantileInPlace is Quantile without the defensive copy: xs is sorted
+// in place. Hot paths use it with a reused scratch buffer.
+func QuantileInPlace(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	sort.Float64s(xs)
+	if len(xs) == 1 {
+		return xs[0], nil
+	}
+	pos := q * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo], nil
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac, nil
+}
+
+// MedianInPlace returns the median of xs, sorting xs in place.
+func MedianInPlace(xs []float64) (float64, error) {
+	return QuantileInPlace(xs, 0.5)
+}
+
 // Skewness returns the sample skewness (third standardized moment) of xs.
 // Samples with fewer than two elements or zero variance yield 0.
 func Skewness(xs []float64) float64 {
@@ -196,30 +224,46 @@ func Summarize(xs []float64) (Summary, error) {
 // MAD/0.6745 estimates its standard deviation robustly (immune to the
 // occasional genuine jump). Series shorter than 3 samples return 0.
 func RobustDiffStd(xs []float64) float64 {
+	var e AR1NoiseEstimator
+	return e.RobustDiffStd(xs)
+}
+
+// AR1NoiseEstimator computes EstimateAR1Noise and RobustDiffStd on a
+// reusable scratch buffer, so per-identity noise separation inside a
+// detection round allocates nothing after warm-up. The zero value is
+// ready to use; an estimator is not safe for concurrent use.
+type AR1NoiseEstimator struct {
+	diffs []float64
+}
+
+// RobustDiffStd is the package-level RobustDiffStd on reused scratch.
+func (e *AR1NoiseEstimator) RobustDiffStd(xs []float64) float64 {
 	if len(xs) < 3 {
 		return 0
 	}
-	diffs := make([]float64, len(xs)-1)
+	diffs := e.diffs[:0]
 	for i := 1; i < len(xs); i++ {
-		diffs[i-1] = math.Abs(xs[i] - xs[i-1])
+		diffs = append(diffs, math.Abs(xs[i]-xs[i-1]))
 	}
-	med, err := Median(diffs)
+	e.diffs = diffs
+	med, err := MedianInPlace(diffs)
 	if err != nil {
 		return 0
 	}
 	return med / 0.6745 / math.Sqrt2
 }
 
-// lagVarRobust estimates Var(x_t - x_{t-lag}) robustly via the MAD.
-func lagVarRobust(xs []float64, lag int) float64 {
+// lagVar estimates Var(x_t - x_{t-lag}) robustly via the MAD.
+func (e *AR1NoiseEstimator) lagVar(xs []float64, lag int) float64 {
 	if len(xs) <= lag {
 		return 0
 	}
-	diffs := make([]float64, 0, len(xs)-lag)
+	diffs := e.diffs[:0]
 	for i := lag; i < len(xs); i++ {
 		diffs = append(diffs, math.Abs(xs[i]-xs[i-lag]))
 	}
-	med, err := Median(diffs)
+	e.diffs = diffs
+	med, err := MedianInPlace(diffs)
 	if err != nil {
 		return 0
 	}
@@ -240,12 +284,18 @@ func lagVarRobust(xs []float64, lag int) float64 {
 // conflates fast-decorrelating shadowing with that noise. Returns ok=false
 // for series shorter than 8 samples.
 func EstimateAR1Noise(xs []float64) (sigmaN float64, ok bool) {
+	var e AR1NoiseEstimator
+	return e.Estimate(xs)
+}
+
+// Estimate is EstimateAR1Noise on the estimator's reused scratch.
+func (e *AR1NoiseEstimator) Estimate(xs []float64) (sigmaN float64, ok bool) {
 	if len(xs) < 8 {
 		return 0, false
 	}
-	v1 := lagVarRobust(xs, 1)
-	v2 := lagVarRobust(xs, 2)
-	v3 := lagVarRobust(xs, 3)
+	v1 := e.lagVar(xs, 1)
+	v2 := e.lagVar(xs, 2)
+	v3 := e.lagVar(xs, 3)
 	d21 := v2 - v1
 	d32 := v3 - v2
 	if d21 <= 1e-12 || d32 <= 1e-12 {

@@ -266,7 +266,8 @@ func TestSkewnessKurtosisDegenerate(t *testing.T) {
 }
 
 func TestLagVarRobustShort(t *testing.T) {
-	if lagVarRobust([]float64{1}, 1) != 0 {
+	var e AR1NoiseEstimator
+	if e.lagVar([]float64{1}, 1) != 0 {
 		t.Error("too-short series should yield 0")
 	}
 }

@@ -48,9 +48,9 @@ func GenRandomWalk(n int, start, stepStd, lo, hi float64, samplePeriod time.Dura
 // over Euclidean distance.
 func Drop(s *Series, p float64, rng *rand.Rand) *Series {
 	out := New(s.Len())
-	for _, smp := range s.samples {
+	for _, smp := range s.live() {
 		if rng.Float64() >= p {
-			out.samples = append(out.samples, smp)
+			out.buf = append(out.buf, smp)
 		}
 	}
 	return out
@@ -60,9 +60,10 @@ func Drop(s *Series, p float64, rng *rand.Rand) *Series {
 // sample, modelling a TX-power change (Assumption 3: a malicious node may
 // give each Sybil identity a different constant transmission power).
 func Shift(s *Series, offsetDB float64) *Series {
-	out := &Series{samples: make([]Sample, len(s.samples))}
-	for i, smp := range s.samples {
-		out.samples[i] = Sample{T: smp.T, RSSI: smp.RSSI + offsetDB}
+	live := s.live()
+	out := &Series{buf: make([]Sample, len(live))}
+	for i, smp := range live {
+		out.buf[i] = Sample{T: smp.T, RSSI: smp.RSSI + offsetDB}
 	}
 	return out
 }
@@ -71,9 +72,10 @@ func Shift(s *Series, offsetDB float64) *Series {
 // mean, modelling antenna-gain differences between heterogeneous OBUs.
 func Scale(s *Series, factor float64) *Series {
 	mu := s.Mean()
-	out := &Series{samples: make([]Sample, len(s.samples))}
-	for i, smp := range s.samples {
-		out.samples[i] = Sample{T: smp.T, RSSI: mu + (smp.RSSI-mu)*factor}
+	live := s.live()
+	out := &Series{buf: make([]Sample, len(live))}
+	for i, smp := range live {
+		out.buf[i] = Sample{T: smp.T, RSSI: mu + (smp.RSSI-mu)*factor}
 	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"voiceprint/internal/stats"
@@ -25,13 +26,23 @@ type Sample struct {
 // sender identity during one observation window. Samples must be
 // non-decreasing in time; packet loss shows up as gaps, which is why the
 // detector compares series with DTW rather than pointwise distance.
+//
+// The container is ring-buffer-backed for streaming use: Append writes
+// at the tail, TrimBefore retires the head in place (amortized O(1), no
+// allocation), and WindowView hands out zero-copy sub-series. A monitor
+// tracking an identity over a long drive therefore reuses one backing
+// array round after round instead of rebuilding it.
 type Series struct {
-	samples []Sample
+	// buf is the backing array; the live samples are buf[head:]. Trimming
+	// advances head; a compaction copies the live tail to the front once
+	// the dead prefix dominates, so the same allocation keeps serving.
+	buf  []Sample
+	head int
 }
 
 // New returns an empty series with capacity for n samples.
 func New(n int) *Series {
-	return &Series{samples: make([]Sample, 0, n)}
+	return &Series{buf: make([]Sample, 0, n)}
 }
 
 // FromValues builds a series from evenly spaced values at the given period
@@ -40,41 +51,51 @@ func New(n int) *Series {
 func FromValues(values []float64, period time.Duration) *Series {
 	s := New(len(values))
 	for i, v := range values {
-		s.samples = append(s.samples, Sample{T: time.Duration(i) * period, RSSI: v})
+		s.buf = append(s.buf, Sample{T: time.Duration(i) * period, RSSI: v})
 	}
 	return s
 }
 
+// live returns the live samples.
+func (s *Series) live() []Sample { return s.buf[s.head:] }
+
 // Append adds a sample. It returns an error when t would go backwards in
 // time, which indicates a corrupted trace.
 func (s *Series) Append(t time.Duration, rssi float64) error {
-	if n := len(s.samples); n > 0 && t < s.samples[n-1].T {
+	if n := len(s.buf); n > s.head && t < s.buf[n-1].T {
 		return fmt.Errorf("timeseries: sample at %v precedes last sample at %v",
-			t, s.samples[n-1].T)
+			t, s.buf[n-1].T)
 	}
-	s.samples = append(s.samples, Sample{T: t, RSSI: rssi})
+	s.buf = append(s.buf, Sample{T: t, RSSI: rssi})
 	return nil
 }
 
 // Len returns the number of samples.
-func (s *Series) Len() int { return len(s.samples) }
+func (s *Series) Len() int { return len(s.buf) - s.head }
 
 // At returns the i-th sample.
-func (s *Series) At(i int) Sample { return s.samples[i] }
+func (s *Series) At(i int) Sample { return s.buf[s.head+i] }
 
 // Values returns a copy of the RSSI values in order.
 func (s *Series) Values() []float64 {
-	out := make([]float64, len(s.samples))
-	for i, smp := range s.samples {
-		out[i] = smp.RSSI
+	return s.AppendValues(make([]float64, 0, s.Len()))
+}
+
+// AppendValues appends the RSSI values in order to dst and returns the
+// extended slice. Scratch-conscious callers use it to collect values
+// into a reused arena instead of allocating per call.
+func (s *Series) AppendValues(dst []float64) []float64 {
+	for _, smp := range s.live() {
+		dst = append(dst, smp.RSSI)
 	}
-	return out
+	return dst
 }
 
 // Times returns a copy of the sample offsets in order.
 func (s *Series) Times() []time.Duration {
-	out := make([]time.Duration, len(s.samples))
-	for i, smp := range s.samples {
+	live := s.live()
+	out := make([]time.Duration, len(live))
+	for i, smp := range live {
 		out[i] = smp.T
 	}
 	return out
@@ -83,35 +104,105 @@ func (s *Series) Times() []time.Duration {
 // Duration returns the span from first to last sample, or 0 for series with
 // fewer than two samples.
 func (s *Series) Duration() time.Duration {
-	if len(s.samples) < 2 {
+	live := s.live()
+	if len(live) < 2 {
 		return 0
 	}
-	return s.samples[len(s.samples)-1].T - s.samples[0].T
+	return live[len(live)-1].T - live[0].T
 }
 
 // Mean returns the mean RSSI of the series.
-func (s *Series) Mean() float64 { return stats.Mean(s.Values()) }
+func (s *Series) Mean() float64 {
+	live := s.live()
+	if len(live) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, smp := range live {
+		sum += smp.RSSI
+	}
+	return sum / float64(len(live))
+}
 
 // StdDev returns the population standard deviation of the series RSSI.
-func (s *Series) StdDev() float64 { return stats.StdDev(s.Values()) }
+func (s *Series) StdDev() float64 {
+	live := s.live()
+	if len(live) == 0 {
+		return 0
+	}
+	mu := s.Mean()
+	var sum float64
+	for _, smp := range live {
+		d := smp.RSSI - mu
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(live)))
+}
 
 // Clone returns a deep copy of the series.
 func (s *Series) Clone() *Series {
-	cp := &Series{samples: make([]Sample, len(s.samples))}
-	copy(cp.samples, s.samples)
+	live := s.live()
+	cp := &Series{buf: make([]Sample, len(live))}
+	copy(cp.buf, live)
 	return cp
 }
 
+// searchT returns the index of the first live sample with T >= t (by
+// binary search; samples are time-ordered).
+func (s *Series) searchT(t time.Duration) int {
+	live := s.live()
+	return sort.Search(len(live), func(i int) bool { return live[i].T >= t })
+}
+
 // Window returns the sub-series of samples with T in [from, to). The
-// returned series is a copy.
+// returned series is a copy; bounds are found by binary search.
 func (s *Series) Window(from, to time.Duration) *Series {
-	out := New(len(s.samples))
-	for _, smp := range s.samples {
-		if smp.T >= from && smp.T < to {
-			out.samples = append(out.samples, smp)
-		}
-	}
+	lo, hi := s.windowBounds(from, to)
+	out := &Series{buf: make([]Sample, hi-lo)}
+	copy(out.buf, s.live()[lo:hi])
 	return out
+}
+
+// windowBounds returns the live-index half-open range [lo, hi) of
+// samples with T in [from, to).
+func (s *Series) windowBounds(from, to time.Duration) (lo, hi int) {
+	if to <= from {
+		return 0, 0
+	}
+	return s.searchT(from), s.searchT(to)
+}
+
+// WindowView returns the sub-series of samples with T in [from, to) as a
+// zero-copy view sharing the receiver's backing array. The view is
+// read-only and valid until the receiver is next mutated (Append or
+// TrimBefore); appending to a view corrupts the parent.
+func (s *Series) WindowView(from, to time.Duration) *Series {
+	return s.WindowViewInto(from, to, &Series{})
+}
+
+// WindowViewInto repoints dst at the [from, to) window of the receiver
+// and returns dst. It allocates nothing: monitors keep one reusable view
+// header per tracked identity and rebuild it each detection round. The
+// same validity rules as WindowView apply.
+func (s *Series) WindowViewInto(from, to time.Duration, dst *Series) *Series {
+	lo, hi := s.windowBounds(from, to)
+	dst.buf = s.live()[lo:hi:hi]
+	dst.head = 0
+	return dst
+}
+
+// TrimBefore drops every sample with T < t, in place. The head advances
+// without copying; once the dead prefix outgrows the live tail the live
+// samples are compacted to the front of the same backing array, so
+// steady-state trimming is amortized O(1) per retired sample with zero
+// allocation. Any outstanding views are invalidated.
+func (s *Series) TrimBefore(t time.Duration) {
+	s.head += s.searchT(t)
+	if s.head >= 32 && s.head > len(s.buf)-s.head {
+		n := copy(s.buf, s.buf[s.head:])
+		s.buf = s.buf[:n]
+		s.head = 0
+	}
 }
 
 // ErrTooShort is returned when a series has too few samples for an
@@ -127,20 +218,41 @@ var ErrTooShort = errors.New("timeseries: series too short")
 // normalizes to all zeros, since its shape carries no information.
 // The receiver is not modified; a new series is returned.
 func (s *Series) ZScoreNormalize() (*Series, error) {
-	if len(s.samples) < 2 {
+	live := s.live()
+	if len(live) < 2 {
 		return nil, ErrTooShort
 	}
 	mu := s.Mean()
 	sigma := s.StdDev()
-	out := &Series{samples: make([]Sample, len(s.samples))}
-	for i, smp := range s.samples {
+	out := &Series{buf: make([]Sample, len(live))}
+	for i, smp := range live {
 		v := 0.0
 		if sigma > 0 {
 			v = (smp.RSSI - mu) / (3 * sigma)
 		}
-		out.samples[i] = Sample{T: smp.T, RSSI: v}
+		out.buf[i] = Sample{T: smp.T, RSSI: v}
 	}
 	return out, nil
+}
+
+// AppendZScored appends the Equation 7 Z-scored values (without the
+// timestamps) to dst and returns the extended slice: the allocation-free
+// counterpart of ZScoreNormalize().Values() for the detector's hot path.
+func (s *Series) AppendZScored(dst []float64) ([]float64, error) {
+	live := s.live()
+	if len(live) < 2 {
+		return dst, ErrTooShort
+	}
+	mu := s.Mean()
+	sigma := s.StdDev()
+	for _, smp := range live {
+		v := 0.0
+		if sigma > 0 {
+			v = (smp.RSSI - mu) / (3 * sigma)
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
 }
 
 // Resample produces an evenly spaced series at the given period over
@@ -151,20 +263,21 @@ func (s *Series) Resample(period, horizon time.Duration) (*Series, error) {
 	if period <= 0 {
 		return nil, errors.New("timeseries: resample period must be positive")
 	}
-	if len(s.samples) == 0 {
+	live := s.live()
+	if len(live) == 0 {
 		return nil, ErrTooShort
 	}
 	n := int(horizon / period)
 	out := New(n)
 	j := 0
-	last := s.samples[0].RSSI
+	last := live[0].RSSI
 	for i := 0; i < n; i++ {
 		t := time.Duration(i) * period
-		for j < len(s.samples) && s.samples[j].T <= t {
-			last = s.samples[j].RSSI
+		for j < len(live) && live[j].T <= t {
+			last = live[j].RSSI
 			j++
 		}
-		out.samples = append(out.samples, Sample{T: t, RSSI: last})
+		out.buf = append(out.buf, Sample{T: t, RSSI: last})
 	}
 	return out, nil
 }
@@ -179,8 +292,18 @@ func (s *Series) Resample(period, horizon time.Duration) (*Series, error) {
 // of a single repeated distance). It returns ErrEmptyBatch for an empty
 // input. NaN or Inf inputs return an error: they indicate an upstream bug.
 func MinMaxNormalize(xs []float64) ([]float64, error) {
+	return MinMaxNormalizeInto(make([]float64, len(xs)), xs)
+}
+
+// MinMaxNormalizeInto is MinMaxNormalize writing into dst, which must
+// have len(xs) elements already (it is fully overwritten). It allows the
+// detector to min-max a round's distance batch into reused scratch.
+func MinMaxNormalizeInto(dst, xs []float64) ([]float64, error) {
 	if len(xs) == 0 {
 		return nil, ErrEmptyBatch
+	}
+	if len(dst) != len(xs) {
+		return nil, fmt.Errorf("timeseries: min-max dst has %d slots for %d values", len(dst), len(xs))
 	}
 	for _, x := range xs {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
@@ -191,14 +314,16 @@ func MinMaxNormalize(xs []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(xs))
 	if hi == lo {
-		return out, nil
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst, nil
 	}
 	for i, x := range xs {
-		out[i] = (x - lo) / (hi - lo)
+		dst[i] = (x - lo) / (hi - lo)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // ErrEmptyBatch is returned by MinMaxNormalize for an empty input.
