@@ -64,7 +64,12 @@ func run() error {
 	evictAfter := flag.Duration("evict-after", 0, "drop identities silent this long (0 = 2x observation)")
 	tolerance := flag.Duration("reorder-tolerance", 500*time.Millisecond, "accept observations up to this far out of order")
 	workers := flag.Int("workers", 0, "detection round worker pool size (0 = GOMAXPROCS)")
-	ingestBuffer := flag.Int("ingest-buffer", 0, "per-connection observation buffer (0 = default)")
+	ingestBuffer := flag.Int("ingest-buffer", 0, "per-connection observation buffer (0 = default 4096)")
+	eventBuffer := flag.Int("event-buffer", 0, "per-connection outbound verdict buffer (0 = default 256)")
+	maxLineBytes := flag.Int("max-line-bytes", 0, "max inbound NDJSON line length (0 = default 64KiB)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "disconnect clients silent this long (0 disables; pure subscribers never write)")
+	writeTimeout := flag.Duration("write-timeout", 0, "evict clients whose event write blocks this long (0 = default 5s)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "graceful-shutdown flush budget before force-closing connections (0 = default 2s)")
 	replay := flag.String("replay", "", "replay a trace CSV through the ingest path and exit")
 	speed := flag.Float64("speed", 0, "replay speedup vs stream time (0 = as fast as possible)")
 	flag.Parse()
@@ -96,6 +101,11 @@ func run() error {
 		Period:       *period,
 		Workers:      *workers,
 		IngestBuffer: *ingestBuffer,
+		EventBuffer:  *eventBuffer,
+		MaxLineBytes: *maxLineBytes,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+		DrainTimeout: *drainTimeout,
 		Logf:         log.Printf,
 	}
 	if *socket != "" {

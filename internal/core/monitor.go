@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -112,11 +113,20 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 // ErrTimeBackwards is returned when observations regress in time.
 var ErrTimeBackwards = errors.New("core: observation time went backwards")
 
+// ErrNonFiniteRSSI is returned when an observation carries a NaN or Inf
+// RSSI. A non-finite sample admitted into a series poisons every mean,
+// Z-score and DTW distance computed over it for as long as it stays in
+// the window, so it is rejected at ingest instead.
+var ErrNonFiniteRSSI = errors.New("core: non-finite RSSI")
+
 // Observe feeds one received beacon. Observations must be non-decreasing
-// in time across all identities.
+// in time across all identities and carry a finite RSSI.
 func (m *Monitor) Observe(id vanet.NodeID, t time.Duration, rssi float64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if math.IsNaN(rssi) || math.IsInf(rssi, 0) {
+		return fmt.Errorf("%w: %v at %v", ErrNonFiniteRSSI, rssi, t)
+	}
 	if t < m.now {
 		return fmt.Errorf("%w: %v after %v", ErrTimeBackwards, t, m.now)
 	}
@@ -143,6 +153,9 @@ func (m *Monitor) Observe(id vanet.NodeID, t time.Duration, rssi float64) error 
 func (m *Monitor) ObserveClamped(id vanet.NodeID, t time.Duration, rssi float64, tolerance time.Duration) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if math.IsNaN(rssi) || math.IsInf(rssi, 0) {
+		return fmt.Errorf("%w: %v at %v", ErrNonFiniteRSSI, rssi, t)
+	}
 	if t < m.now {
 		if m.now-t > tolerance {
 			return fmt.Errorf("%w: %v after %v", ErrTimeBackwards, t, m.now)

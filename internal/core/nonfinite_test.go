@@ -1,0 +1,34 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// A NaN or Inf RSSI is always an upstream bug (a corrupted trace, a
+// broken driver), never a measurement; letting one into a series would
+// silently poison every DTW distance and Z-score computed from it for
+// the rest of the window. The monitor is the last line of defense for
+// library users that bypass the wire protocol's own validation.
+func TestObserveRejectsNonFiniteRSSI(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		m := testMonitor(t, 1, 1)
+		if err := m.Observe(1, time.Second, bad); !errors.Is(err, ErrNonFiniteRSSI) {
+			t.Errorf("Observe(%v) err = %v, want ErrNonFiniteRSSI", bad, err)
+		}
+		if err := m.ObserveClamped(1, time.Second, bad, time.Second); !errors.Is(err, ErrNonFiniteRSSI) {
+			t.Errorf("ObserveClamped(%v) err = %v, want ErrNonFiniteRSSI", bad, err)
+		}
+		// Rejection must leave no trace: no identity tracked, and the
+		// monotone clock not advanced (an observation at an earlier
+		// timestamp still lands).
+		if got := m.Tracked(); got != 0 {
+			t.Errorf("rejected observation left %d identities tracked", got)
+		}
+		if err := m.Observe(1, 500*time.Millisecond, -70); err != nil {
+			t.Errorf("rejected observation advanced the clock: %v", err)
+		}
+	}
+}

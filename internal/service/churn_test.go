@@ -1,0 +1,112 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"voiceprint/internal/vanet"
+)
+
+// TestConnectionChurnDuringRounds hammers the server with connections
+// that appear, stream a burst, and vanish — some after draining their
+// event stream, most abruptly — while detection rounds run concurrently
+// the whole time. Run with -race: the point is the interleaving of
+// accept, per-connection teardown, broadcast fan-out, and the
+// scheduler's registry walks. Afterward the daemon must be fully intact:
+// every connection accounted closed, no round panics, and a fresh
+// well-behaved client still ingesting normally.
+func TestConnectionChurnDuringRounds(t *testing.T) {
+	srv, _, _ := startServer(t, Config{
+		Network:      "tcp",
+		Addr:         "127.0.0.1:0",
+		Registry:     RegistryConfig{Monitor: testMonitorConfig()},
+		Period:       24 * time.Hour, // rounds fired manually below
+		EventBuffer:  2,
+		WriteTimeout: 100 * time.Millisecond,
+	})
+	addr := srv.Addr().String()
+	m := srv.Metrics()
+
+	stopRounds := make(chan struct{})
+	var roundsWG sync.WaitGroup
+	roundsWG.Add(1)
+	go func() {
+		defer roundsWG.Done()
+		for {
+			select {
+			case <-stopRounds:
+				return
+			default:
+				srv.DetectNow()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	const workers = 8
+	const connsPerWorker = 12
+	const linesPerConn = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			recv := vanet.NodeID(900 + w) // own receiver: per-worker monotone time
+			tms := int64(0)
+			for i := 0; i < connsPerWorker; i++ {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					t.Errorf("worker %d dial %d: %v", w, i, err)
+					return
+				}
+				for j := 0; j < linesPerConn; j++ {
+					tms += 100
+					line := fmt.Sprintf("{\"recv\":%d,\"sender\":%d,\"t_ms\":%d,\"rssi\":%.1f}\n",
+						recv, 1+j%3, tms, -70.0-float64(j%5))
+					if _, err := conn.Write([]byte(line)); err != nil {
+						break // evicted mid-burst is legal; churn on
+					}
+				}
+				if i%3 == 0 {
+					// Occasionally drain broadcast events like a polite
+					// client; the rest hang up with events still queued.
+					conn.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
+					io.Copy(io.Discard, conn)
+				}
+				conn.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopRounds)
+	roundsWG.Wait()
+
+	waitFor(t, "every churned connection to close", func() bool {
+		return m.ConnsOpened.Load() >= workers*connsPerWorker &&
+			m.ConnsClosed.Load() == m.ConnsOpened.Load()
+	})
+	if got := m.RoundPanics.Load(); got != 0 {
+		t.Errorf("round panics during churn: %d", got)
+	}
+
+	// The daemon must still serve a fresh client normally.
+	before := m.ObservationsIngested.Load()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for j := int64(1); j <= 10; j++ {
+		line := fmt.Sprintf("{\"recv\":999,\"sender\":%d,\"t_ms\":%d,\"rssi\":-68}\n", 1+j%2, j*100)
+		if _, err := conn.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "post-churn ingest", func() bool {
+		return m.ObservationsIngested.Load() == before+10
+	})
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeEvent hammers the consumer-side verdict decoder with
+// arbitrary bytes. Contracts: it never panics, every rejection is
+// ErrMalformed, every accepted event is in canonical form (non-nil ID
+// slices, finite floats, non-negative counts), and canonical form is a
+// fixed point — Encode followed by DecodeEvent reproduces the event
+// exactly.
+func FuzzDecodeEvent(f *testing.F) {
+	// Real encoder output, plus the malformed shapes the protocol tests
+	// pin down for the observation parser.
+	f.Add([]byte(`{"type":"round","recv":901,"t_ms":20000,"density":4.5,"considered":9,"suspects":[1,101,102],"confirmed":[101]}`))
+	f.Add([]byte(`{"type":"round","recv":7,"t_ms":0,"density":0,"considered":0,"suspects":[],"confirmed":[]}`))
+	f.Add([]byte(`{"type":"round","recv":7,"t_ms":0,"suspects":null,"confirmed":null}`))
+	f.Add([]byte(`{"type":"round","recv":7,"t_ms":1000,"error":"boom"}`))
+	f.Add([]byte(`{"type":"round","recv":1,"t_ms":-5}`))
+	f.Add([]byte(`{"recv":1,"t_ms":5}`))
+	f.Add([]byte(`{"type":"round","t_ms":0,"density":1e999}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := DecodeEvent(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("DecodeEvent(%q) err = %v, want ErrMalformed", data, err)
+			}
+			return
+		}
+		if ev.Suspects == nil || ev.Confirmed == nil {
+			t.Fatalf("accepted event has nil ID slices: %+v", ev)
+		}
+		if ev.TMs < 0 || ev.Considered < 0 || ev.Skipped < 0 {
+			t.Fatalf("accepted event has negative counts: %+v", ev)
+		}
+		again, err := DecodeEvent(ev.Encode())
+		if err != nil {
+			t.Fatalf("re-decoding encoded event failed: %v (%+v)", err, ev)
+		}
+		if !reflect.DeepEqual(ev, again) {
+			t.Fatalf("Encode/Decode not a fixed point:\n first %+v\nsecond %+v", ev, again)
+		}
+	})
+}
+
+// FuzzLineScanner feeds arbitrary byte streams through the
+// oversized-tolerant scanner. Contracts: no panic, no delivered line
+// exceeds the cap, the scanner always terminates, a plain byte stream
+// never surfaces a read error, and frames are conserved — every
+// newline-terminated frame (plus a non-empty unterminated tail) is
+// either delivered or counted oversized, never silently lost. This is
+// the property bufio.Scanner breaks: one ErrTooLong and every
+// subsequent frame of the stream is gone.
+func FuzzLineScanner(f *testing.F) {
+	f.Add([]byte("{\"recv\":1}\nshort\n"), 8)
+	f.Add([]byte(strings.Repeat("x", 300)+"\nok\n"), 16)
+	f.Add([]byte("tail with no newline"), 64)
+	f.Add([]byte("\n\n\r\n"), 4)
+	f.Add([]byte("abc\r\n"+strings.Repeat("y", 100)), 3)
+	f.Fuzz(func(t *testing.T, data []byte, max int) {
+		max = 1 + ((max%128)+128)%128
+		s := NewLineScanner(bytes.NewReader(data), max)
+		delivered := 0
+		for s.Scan() {
+			if len(s.Bytes()) > max {
+				t.Fatalf("delivered %d-byte line past cap %d", len(s.Bytes()), max)
+			}
+			delivered++
+			if delivered > len(data)+1 {
+				t.Fatal("scanner failed to make progress")
+			}
+		}
+		if err := s.Err(); err != nil {
+			t.Fatalf("in-memory stream surfaced error: %v", err)
+		}
+		frames := bytes.Count(data, []byte("\n"))
+		if tail := data[bytes.LastIndexByte(data, '\n')+1:]; len(tail) > 0 {
+			frames++
+		}
+		if got := delivered + int(s.Oversized()); got != frames {
+			t.Fatalf("frame conservation: %d delivered + %d oversized != %d frames",
+				delivered, s.Oversized(), frames)
+		}
+	})
+}

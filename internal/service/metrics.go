@@ -24,9 +24,22 @@ type Metrics struct {
 	// BackpressureDropped counts observations shed because a
 	// connection's bounded ingest buffer was full.
 	BackpressureDropped atomic.Uint64
+	// OversizedDropped counts inbound lines discarded for exceeding
+	// MaxLineBytes; the connection survives, only the line is shed.
+	OversizedDropped atomic.Uint64
 	// EventsDropped counts verdict events shed because a subscriber's
 	// outbound buffer was full.
 	EventsDropped atomic.Uint64
+	// IdleDisconnects counts connections closed because no inbound data
+	// arrived within the read idle timeout.
+	IdleDisconnects atomic.Uint64
+	// SlowClientsEvicted counts connections closed because an event
+	// write did not complete within the write timeout (a stalled reader
+	// on the far side must not pin daemon memory or goroutines).
+	SlowClientsEvicted atomic.Uint64
+	// ConnsForceClosed counts connections force-closed at shutdown after
+	// the graceful drain timeout expired.
+	ConnsForceClosed atomic.Uint64
 	// ReceiversRejected counts observations dropped because the registry
 	// was at its receiver capacity.
 	ReceiversRejected atomic.Uint64
@@ -34,6 +47,10 @@ type Metrics struct {
 	RoundsRun atomic.Uint64
 	// RoundErrors counts detection rounds that returned an error.
 	RoundErrors atomic.Uint64
+	// RoundPanics counts detection rounds that panicked and were
+	// recovered into an errored outcome (a detector bug must not take
+	// the daemon down with it).
+	RoundPanics atomic.Uint64
 	// RoundsCoalesced counts scheduled rounds skipped because the same
 	// receiver's previous round was still in flight.
 	RoundsCoalesced atomic.Uint64
@@ -59,10 +76,15 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"malformed_dropped_total":        m.MalformedDropped.Load(),
 		"stale_dropped_total":            m.StaleDropped.Load(),
 		"backpressure_dropped_total":     m.BackpressureDropped.Load(),
+		"oversized_dropped_total":        m.OversizedDropped.Load(),
 		"events_dropped_total":           m.EventsDropped.Load(),
+		"idle_disconnects_total":         m.IdleDisconnects.Load(),
+		"slow_clients_evicted_total":     m.SlowClientsEvicted.Load(),
+		"connections_force_closed_total": m.ConnsForceClosed.Load(),
 		"receivers_rejected_total":       m.ReceiversRejected.Load(),
 		"rounds_run_total":               m.RoundsRun.Load(),
 		"round_errors_total":             m.RoundErrors.Load(),
+		"round_panics_total":             m.RoundPanics.Load(),
 		"rounds_coalesced_total":         m.RoundsCoalesced.Load(),
 		"rounds_skipped_unchanged_total": m.RoundsSkippedUnchanged.Load(),
 		"suspects_flagged_total":         m.SuspectsFlagged.Load(),

@@ -24,9 +24,11 @@
 package service
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"time"
@@ -127,6 +129,143 @@ func (e Event) Encode() []byte {
 		b = []byte(`{"type":"error","error":"encode failure"}`)
 	}
 	return append(b, '\n')
+}
+
+// DecodeEvent parses and validates one NDJSON verdict line written by
+// Event.Encode. It is the consumer-side counterpart of Encode: clients
+// (and the replay/chaos test harnesses) use it to read the daemon's
+// event stream without trusting the transport. Nil ID slices decode to
+// empty ones, so Encode→Decode round-trips the canonical form exactly.
+func DecodeEvent(line []byte) (Event, error) {
+	var e Event
+	if err := json.Unmarshal(line, &e); err != nil {
+		return Event{}, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if e.Type == "" {
+		return Event{}, fmt.Errorf("%w: event missing type", ErrMalformed)
+	}
+	if e.TMs < 0 {
+		return Event{}, fmt.Errorf("%w: negative t_ms %d", ErrMalformed, e.TMs)
+	}
+	if e.Considered < 0 || e.Skipped < 0 {
+		return Event{}, fmt.Errorf("%w: negative round counts", ErrMalformed)
+	}
+	for _, f := range [...]float64{e.Density, e.LatencyMs} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return Event{}, fmt.Errorf("%w: non-finite event field", ErrMalformed)
+		}
+	}
+	if e.Suspects == nil {
+		e.Suspects = []vanet.NodeID{}
+	}
+	if e.Confirmed == nil {
+		e.Confirmed = []vanet.NodeID{}
+	}
+	return e, nil
+}
+
+// LineScanner reads newline-delimited frames, tolerating oversized
+// lines: a line longer than max bytes is discarded up to its newline and
+// counted, then scanning continues — unlike bufio.Scanner, whose
+// ErrTooLong permanently poisons the scanner and (in the pre-hardening
+// server) killed the whole connection over one abusive or corrupted
+// frame. Memory stays bounded while skipping: the partial line is
+// released as soon as the overflow is detected.
+type LineScanner struct {
+	r         *bufio.Reader
+	max       int
+	line      []byte
+	err       error
+	oversized uint64
+}
+
+// NewLineScanner wraps r with a line scanner capping lines at max bytes
+// (exclusive of the line terminator). max must be positive.
+func NewLineScanner(r io.Reader, max int) *LineScanner {
+	if max <= 0 {
+		max = 64 << 10
+	}
+	buf := max + 2 // room for \r\n so a max-length line needs one read
+	if buf > 64<<10 {
+		buf = 64 << 10
+	}
+	return &LineScanner{r: bufio.NewReaderSize(r, buf), max: max}
+}
+
+// Scan advances to the next line within bounds, skipping (and counting)
+// oversized ones. It returns false at end of stream or on a read error.
+func (s *LineScanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	s.line = s.line[:0]
+	skipping := false
+	for {
+		frag, err := s.r.ReadSlice('\n')
+		if !skipping {
+			s.line = append(s.line, frag...)
+			if len(s.line) > s.max+2 {
+				skipping = true
+				s.line = s.line[:0]
+			}
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			s.err = err
+			if skipping {
+				s.oversized++
+				return false
+			}
+			// Deliver a non-empty unterminated tail like bufio.Scanner.
+			s.line = trimEOL(s.line)
+			if len(s.line) > s.max {
+				s.oversized++
+				return false
+			}
+			return len(s.line) > 0
+		}
+		if skipping {
+			s.oversized++
+			s.line = s.line[:0]
+			skipping = false
+			continue
+		}
+		s.line = trimEOL(s.line)
+		if len(s.line) > s.max {
+			s.oversized++
+			s.line = s.line[:0]
+			continue
+		}
+		return true
+	}
+}
+
+// Bytes returns the current line without its terminator. The slice is
+// reused by the next Scan.
+func (s *LineScanner) Bytes() []byte { return s.line }
+
+// Err returns the first non-EOF read error.
+func (s *LineScanner) Err() error {
+	if s.err == io.EOF {
+		return nil
+	}
+	return s.err
+}
+
+// Oversized returns how many lines were discarded for exceeding the cap.
+func (s *LineScanner) Oversized() uint64 { return s.oversized }
+
+// trimEOL strips one trailing "\n" or "\r\n".
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+		if n := len(b); n > 0 && b[n-1] == '\r' {
+			b = b[:n-1]
+		}
+	}
+	return b
 }
 
 // sortedIDs flattens a set of identities into an ascending slice.

@@ -84,6 +84,13 @@ func (r *Registry) Observe(o Observation) error {
 		r.metrics.StaleDropped.Add(1)
 		return nil
 	}
+	if errors.Is(err, core.ErrNonFiniteRSSI) {
+		// Belt and braces behind ParseObservation: the replay path reads
+		// trace CSVs, where strconv happily parses "NaN", and a NaN that
+		// reaches a series silently poisons every DTW distance downstream.
+		r.metrics.MalformedDropped.Add(1)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -144,9 +145,19 @@ func (s *Scheduler) dispatch(recv vanet.NodeID) bool {
 // graceful shutdown calls it after the ingest listeners close.
 func (s *Scheduler) Drain() { s.wg.Wait() }
 
-// round runs one detection round and updates the metrics.
-func (s *Scheduler) round(recv vanet.NodeID, at time.Duration) RoundOutcome {
-	out := RoundOutcome{Recv: recv, At: at}
+// round runs one detection round and updates the metrics. A panic in
+// the detector is recovered into an errored outcome: one receiver's bad
+// round must not take down the scheduler worker (and with it the
+// daemon's round cadence for every other receiver).
+func (s *Scheduler) round(recv vanet.NodeID, at time.Duration) (out RoundOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = RoundOutcome{Recv: recv, At: at, Err: fmt.Errorf("service: round panic: %v", r)}
+			s.metrics.RoundPanics.Add(1)
+			s.metrics.RoundErrors.Add(1)
+		}
+	}()
+	out = RoundOutcome{Recv: recv, At: at}
 	mon := s.reg.Monitor(recv)
 	if mon == nil {
 		out.Err = errors.New("service: unknown receiver")

@@ -1,13 +1,13 @@
 package service
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +16,11 @@ type Config struct {
 	// Network and Addr name the ingest listener: "tcp" with a host:port,
 	// or "unix" with a socket path.
 	Network, Addr string
+	// Listener, when non-nil, is used instead of binding Network/Addr —
+	// the fault-injection testkit wraps a bound listener with a chaotic
+	// one and hands it in here, putting the daemon's side of every
+	// accepted connection behind the chaos layer.
+	Listener net.Listener
 	// Registry is the per-receiver monitor shard configuration.
 	Registry RegistryConfig
 	// Period is the live detection period: how often the scheduler runs
@@ -33,16 +38,32 @@ type Config struct {
 	// consumers lose events (accounted), they do not stall the daemon.
 	// Zero means 256.
 	EventBuffer int
-	// MaxLineBytes caps one inbound NDJSON line; a longer line is a
-	// protocol violation that terminates the connection. Zero means 64 KiB.
+	// MaxLineBytes caps one inbound NDJSON line; a longer line is shed
+	// with accounting (the connection survives — one corrupted or
+	// abusive frame must not cost an honest client its stream). Zero
+	// means 64 KiB.
 	MaxLineBytes int
+	// IdleTimeout disconnects a client whose ingest side has been silent
+	// this long (per-scan read deadline). Zero disables: pure event
+	// subscribers legitimately never write.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one verdict-event write to a client; on expiry
+	// the client is evicted (closed and accounted) rather than allowed
+	// to stall the writer goroutine forever. Zero means 5 s.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: after the serve context is
+	// cancelled the server stops accepting, unblocks readers, and gives
+	// writers this long to flush buffered events before force-closing
+	// stragglers. Zero means 2 s.
+	DrainTimeout time.Duration
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
 
 func (c *Config) fillDefaults() error {
-	switch c.Network {
-	case "tcp", "unix":
+	switch {
+	case c.Listener != nil: // pre-bound listener: Network/Addr unused
+	case c.Network == "tcp", c.Network == "unix":
 	default:
 		return fmt.Errorf("service: unsupported network %q (want tcp or unix)", c.Network)
 	}
@@ -63,6 +84,21 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.MaxLineBytes == 0 {
 		c.MaxLineBytes = 64 << 10
+	}
+	if c.IdleTimeout < 0 {
+		return errors.New("service: negative idle timeout")
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout < 0 {
+		return errors.New("service: negative write timeout")
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 2 * time.Second
+	}
+	if c.DrainTimeout < 0 {
+		return errors.New("service: negative drain timeout")
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -93,6 +129,11 @@ type Server struct {
 type serverConn struct {
 	c      net.Conn
 	events chan []byte
+	// torn is set once handleConn has fully released the connection; the
+	// drain-timeout reaper skips those. It cannot key off s.conns:
+	// teardown detaches from the broadcast map before waiting out the
+	// writer, which is exactly the goroutine a stalled peer wedges.
+	torn atomic.Bool
 }
 
 // NewServer builds a Server and binds its listener (so an Addr of
@@ -117,6 +158,10 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.sched = sched
+	if cfg.Listener != nil {
+		s.ln = cfg.Listener
+		return s, nil
+	}
 	ln, err := net.Listen(cfg.Network, cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("service: listen %s %s: %w", cfg.Network, cfg.Addr, err)
@@ -162,9 +207,10 @@ func (s *Server) Serve(ctx context.Context) error {
 		case <-ticker.C:
 			s.sched.Tick()
 		case <-ctx.Done():
-			s.shutdown()
+			force := s.shutdown()
 			<-acceptDone
 			s.connWG.Wait()
+			force.Stop()
 			s.sched.Drain()
 			return nil
 		}
@@ -182,8 +228,13 @@ func (s *Server) DetectNow() []RoundOutcome {
 	return outs
 }
 
-// shutdown closes the listener and every client connection.
-func (s *Server) shutdown() {
+// shutdown closes the listener and begins the graceful connection
+// drain: every reader is unblocked via an expired read deadline (its
+// teardown then closes the event channel, and the writer flushes any
+// buffered verdicts before the socket closes), and a force-close timer
+// reaps connections still around after the drain timeout. The returned
+// timer is stopped by Serve once every connection handler has exited.
+func (s *Server) shutdown() *time.Timer {
 	s.mu.Lock()
 	s.closed = true
 	conns := make([]*serverConn, 0, len(s.conns))
@@ -192,9 +243,19 @@ func (s *Server) shutdown() {
 	}
 	s.mu.Unlock()
 	s.ln.Close()
+	past := time.Now().Add(-time.Second)
 	for _, sc := range conns {
-		sc.c.Close()
+		sc.c.SetReadDeadline(past)
 	}
+	return time.AfterFunc(s.cfg.DrainTimeout, func() {
+		for _, sc := range conns {
+			if sc.torn.Load() {
+				continue
+			}
+			s.metrics.ConnsForceClosed.Add(1)
+			sc.c.Close()
+		}
+	})
 }
 
 // handleConn runs one client connection: a reader parsing NDJSON
@@ -214,13 +275,21 @@ func (s *Server) handleConn(c net.Conn) {
 	s.conns[sc] = struct{}{}
 	s.mu.Unlock()
 
-	// Writer: pushes broadcast events until the event channel closes.
+	// Writer: pushes broadcast events until the event channel closes. A
+	// write that exceeds the write timeout evicts the client: a stalled
+	// reader on the far side (full TCP window, wedged process) must not
+	// pin the writer goroutine or the event backlog.
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		for b := range sc.events {
-			c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			if _, err := c.Write(b); err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					s.metrics.SlowClientsEvicted.Add(1)
+					s.cfg.Logf("service: evicting slow client %v", c.RemoteAddr())
+				}
 				c.Close() // unblocks the reader; cleanup follows
 				// Drain remaining events so broadcast never blocks.
 				for range sc.events {
@@ -243,10 +312,24 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 	}()
 
-	// Reader: parse lines, shed overflow.
-	sr := bufio.NewScanner(c)
-	sr.Buffer(make([]byte, 0, 4096), s.cfg.MaxLineBytes)
-	for sr.Scan() {
+	// Reader: parse lines, shedding overflow, oversized frames and
+	// malformed lines with accounting — none of them cost the client its
+	// connection. Only silence past the idle timeout (or the remote
+	// hanging up) ends the stream.
+	sr := NewLineScanner(c, s.cfg.MaxLineBytes)
+	var oversized uint64
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		ok := sr.Scan()
+		if n := sr.Oversized(); n != oversized {
+			s.metrics.OversizedDropped.Add(n - oversized)
+			oversized = n
+		}
+		if !ok {
+			break
+		}
 		line := bytes.TrimSpace(sr.Bytes())
 		if len(line) == 0 {
 			continue
@@ -261,7 +344,21 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 	}
 	if err := sr.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
-		s.cfg.Logf("service: conn %v: %v", c.RemoteAddr(), err)
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			// An expired read deadline is either the idle timeout firing
+			// or shutdown unblocking the reader; only the former is an
+			// idle disconnect.
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.metrics.IdleDisconnects.Add(1)
+				s.cfg.Logf("service: disconnecting idle client %v", c.RemoteAddr())
+			}
+		} else {
+			s.cfg.Logf("service: conn %v: %v", c.RemoteAddr(), err)
+		}
 	}
 
 	// Teardown: stop the applier, detach from broadcast, close the
@@ -274,6 +371,7 @@ func (s *Server) handleConn(c net.Conn) {
 	s.mu.Unlock()
 	<-writerDone
 	c.Close()
+	sc.torn.Store(true)
 }
 
 // enqueue attempts a non-blocking put into a bounded ingest buffer,

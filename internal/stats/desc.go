@@ -86,7 +86,7 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if q < 0 || q > 1 {
+	if !(q >= 0 && q <= 1) { // also rejects NaN, which passes < and > checks
 		return 0, errors.New("stats: quantile out of [0,1]")
 	}
 	sorted := make([]float64, len(xs))
@@ -116,7 +116,7 @@ func QuantileInPlace(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if q < 0 || q > 1 {
+	if !(q >= 0 && q <= 1) { // also rejects NaN, which passes < and > checks
 		return 0, errors.New("stats: quantile out of [0,1]")
 	}
 	sort.Float64s(xs)

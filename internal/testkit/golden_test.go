@@ -1,0 +1,95 @@
+package testkit
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"voiceprint/internal/vanet"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden end-to-end fixture")
+
+// golden is the checked-in end-to-end outcome of the campus field test:
+// the full detection pipeline — simulated convoy → NDJSON wire format →
+// live daemon over loopback TCP → scheduled rounds → confirmation rule
+// — pinned to exact values. Any change to the channel model, the
+// detector, the protocol, or the service layer that shifts this result
+// must show up as a diff to this file, reviewed on purpose rather than
+// discovered in the field.
+type golden struct {
+	Records   int                `json:"records"`
+	Rounds    int                `json:"rounds"`
+	Ingested  uint64             `json:"observations_ingested"`
+	Confirmed map[string][]int64 `json:"confirmed"`
+}
+
+func goldenFromReport(records int, rep Report) golden {
+	g := golden{
+		Records:   records,
+		Rounds:    rep.Rounds,
+		Ingested:  rep.Metrics["observations_ingested_total"],
+		Confirmed: map[string][]int64{},
+	}
+	for recv, ids := range rep.Confirmed {
+		out := make([]int64, len(ids))
+		for i, id := range ids {
+			out[i] = int64(id)
+		}
+		g.Confirmed[fmt.Sprint(int64(recv))] = out
+	}
+	return g
+}
+
+// TestGoldenFieldTest replays the scripted campus field test through a
+// live daemon on a clean loopback transport and compares the outcome to
+// testdata/fieldtest_golden.json. Regenerate deliberately with:
+//
+//	go test ./internal/testkit/ -run TestGoldenFieldTest -update
+func TestGoldenFieldTest(t *testing.T) {
+	records := fieldRecords(t)
+	rep := runScenario(t, &Scenario{Records: records, Service: chaosServiceConfig()})
+	if rep.RoundErrors != 0 {
+		t.Fatalf("%d round errors", rep.RoundErrors)
+	}
+	got := goldenFromReport(len(records), rep)
+
+	path := filepath.Join("testdata", "fieldtest_golden.json")
+	if *update {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (generate with -update)", err)
+	}
+	var want golden
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("end-to-end outcome drifted from golden:\n got %+v\nwant %+v\n(regenerate deliberately with -update)", got, want)
+	}
+
+	// Belt and braces independent of the fixture: the attacker and both
+	// fabricated identities must be confirmed by every observer.
+	for _, recv := range []vanet.NodeID{2, 3, 4} {
+		if !reflect.DeepEqual(rep.Confirmed[recv], wantConfirmed[recv]) {
+			t.Errorf("receiver %d confirmed %v, want %v", recv, rep.Confirmed[recv], wantConfirmed[recv])
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package testkit
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"voiceprint/internal/service"
+	"voiceprint/internal/trace"
+	"voiceprint/internal/vanet"
+)
+
+// Scenario replays a recorded trace through a real service.Server over
+// the chaotic transport, firing detection rounds at fixed stream-time
+// boundaries, and reports the resulting confirmation sets plus full
+// accounting. Line-level faults (drop, duplicate, reorder) model the
+// lossy beacon medium itself; the Chaos config models the transport
+// between OBU and daemon. Both draw from seeded PRNGs only, so a
+// scenario is replayable: same seed, same faults, same verdicts.
+type Scenario struct {
+	// Records is the trace to replay, in stream-time order.
+	Records []trace.Record
+	// Service configures the server under test. Network/Addr default to
+	// a loopback TCP listener; a zero Period is replaced with a huge one
+	// so rounds fire only at the driver's deterministic boundaries.
+	Service service.Config
+	// Chaos sets the transport fault knobs.
+	Chaos Config
+	// DropProb silently drops a line before the transport — packet loss
+	// on the beacon medium.
+	DropProb float64
+	// DupProb sends a line twice — duplicate delivery.
+	DupProb float64
+	// ReorderWindow shuffles lines within a sliding window of this many
+	// lines (0 or 1 disables) — bursty reordering.
+	ReorderWindow int
+	// Period is the detection-round boundary spacing in stream time;
+	// zero means 20 s.
+	Period time.Duration
+	// StalledSubscribers dials this many event subscribers that never
+	// read, exercising the server's slow-client eviction.
+	StalledSubscribers int
+	// WaitTimeout bounds each ingest-quiescence wait; zero means 10 s.
+	WaitTimeout time.Duration
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	// Sent counts trace lines offered to the fault pipeline; Dropped
+	// and Duplicated count line-level faults; Delivered counts lines
+	// fully handed to the transport (duplicates included, reset-lost
+	// lines excluded); Resets counts injected mid-frame teardowns.
+	Sent, Dropped, Duplicated, Delivered, Resets int
+	// Rounds counts detection rounds fired; RoundErrors the errored ones.
+	Rounds, RoundErrors int
+	// Events counts verdict events received back over the chaotic
+	// connection; EventDecodeErrors counts events DecodeEvent rejected.
+	Events, EventDecodeErrors int
+	// Confirmed is each receiver's final confirmed-Sybil set, ascending.
+	Confirmed map[vanet.NodeID][]vanet.NodeID
+	// Metrics is the server's final counter snapshot (taken after
+	// shutdown, so drain-path counters are included).
+	Metrics map[string]uint64
+}
+
+// AccountedIngest sums every metric bucket an inbound line can land in.
+// When no resets are injected it equals Delivered exactly: chaos may
+// delay, corrupt, split or shed a line, but never lose one silently.
+func (r Report) AccountedIngest() uint64 {
+	return r.Metrics["observations_ingested_total"] +
+		r.Metrics["stale_dropped_total"] +
+		r.Metrics["malformed_dropped_total"] +
+		r.Metrics["backpressure_dropped_total"] +
+		r.Metrics["oversized_dropped_total"] +
+		r.Metrics["receivers_rejected_total"]
+}
+
+// Run executes the scenario. The returned error covers harness
+// failures (dial, timeout, server error); detection-level outcomes are
+// in the Report.
+func (s *Scenario) Run(ctx context.Context) (Report, error) {
+	rep := Report{Confirmed: map[vanet.NodeID][]vanet.NodeID{}}
+	if len(s.Records) == 0 {
+		return rep, errors.New("testkit: scenario needs records")
+	}
+	records := make([]trace.Record, len(s.Records))
+	copy(records, s.Records)
+	sort.SliceStable(records, func(i, j int) bool { return records[i].T < records[j].T })
+	period := s.Period
+	if period <= 0 {
+		period = 20 * time.Second
+	}
+	waitTimeout := s.WaitTimeout
+	if waitTimeout <= 0 {
+		waitTimeout = 10 * time.Second
+	}
+
+	cfg := s.Service
+	if cfg.Network == "" {
+		cfg.Network, cfg.Addr = "tcp", "127.0.0.1:0"
+	}
+	if cfg.Period == 0 {
+		cfg.Period = 24 * time.Hour // rounds fire at driver boundaries only
+	}
+	srv, err := service.NewServer(cfg)
+	if err != nil {
+		return rep, err
+	}
+	serveCtx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(serveCtx) }()
+	shutdown := func() error {
+		stop()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(30 * time.Second):
+			return errors.New("testkit: server did not shut down (deadlock?)")
+		}
+	}
+	addr := srv.Addr().String()
+
+	// Stalled subscribers: connect, never read, never send.
+	var stalled []net.Conn
+	defer func() {
+		for _, c := range stalled {
+			c.Close()
+		}
+	}()
+	for i := 0; i < s.StalledSubscribers; i++ {
+		c, err := net.Dial(cfg.Network, addr)
+		if err != nil {
+			shutdown()
+			return rep, fmt.Errorf("testkit: stalled subscriber dial: %w", err)
+		}
+		stalled = append(stalled, c)
+	}
+
+	// The ingest connection, redialled after injected resets. A reader
+	// goroutine per connection consumes and validates the verdict event
+	// stream so the server's writer is never artificially stalled.
+	var events, decodeErrs atomic.Int64
+	var readers sync.WaitGroup
+	var conn *Conn
+	stream := int64(0)
+	dial := func() error {
+		raw, err := net.Dial(cfg.Network, addr)
+		if err != nil {
+			return fmt.Errorf("testkit: dial: %w", err)
+		}
+		conn = WrapConn(raw, s.Chaos, stream)
+		stream++
+		readers.Add(1)
+		go func(c net.Conn) {
+			defer readers.Done()
+			// The reader owns the final Close: fully closing a socket with
+			// unread inbound events would RST outbound bytes still in
+			// flight, so teardown waits for the server-side EOF.
+			defer c.Close()
+			sc := service.NewLineScanner(c, 1<<20)
+			for sc.Scan() {
+				if _, err := service.DecodeEvent(sc.Bytes()); err != nil {
+					decodeErrs.Add(1)
+				} else {
+					events.Add(1)
+				}
+			}
+		}(conn)
+		return nil
+	}
+	if err := dial(); err != nil {
+		shutdown()
+		return rep, err
+	}
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(mix(s.Chaos.Seed, -7)))
+	writeLine := func(line []byte) {
+		if conn == nil {
+			if dial() != nil {
+				return
+			}
+		}
+		if _, err := conn.Write(line); err != nil {
+			rep.Resets++
+			// The interrupted line is lost mid-frame; an OBU beacon feed
+			// is fire-and-forget, so the driver moves on, not retries. The
+			// broken connection's reader closes it after server-side EOF.
+			conn = nil
+			return
+		}
+		rep.Delivered++
+	}
+
+	// Sliding reorder window: lines enter the buffer, a PRNG-chosen
+	// resident leaves once it is full. Flushed (in shuffled order)
+	// before every detection boundary so rounds see a complete prefix.
+	var pending [][]byte
+	emit := func(line []byte) {
+		if s.ReorderWindow > 1 {
+			pending = append(pending, line)
+			if len(pending) >= s.ReorderWindow {
+				i := rng.Intn(len(pending))
+				writeLine(pending[i])
+				pending = append(pending[:i], pending[i+1:]...)
+			}
+			return
+		}
+		writeLine(line)
+	}
+	flushPending := func() {
+		for len(pending) > 0 {
+			i := rng.Intn(len(pending))
+			writeLine(pending[i])
+			pending = append(pending[:i], pending[i+1:]...)
+		}
+		if conn != nil {
+			conn.Flush()
+		}
+	}
+
+	m := srv.Metrics()
+	accounted := func() uint64 {
+		return m.ObservationsIngested.Load() + m.StaleDropped.Load() +
+			m.MalformedDropped.Load() + m.BackpressureDropped.Load() +
+			m.OversizedDropped.Load() + m.ReceiversRejected.Load()
+	}
+	quiesce := func() error {
+		deadline := time.Now().Add(waitTimeout)
+		if s.Chaos.ResetProb == 0 {
+			// Without resets every delivered line lands in exactly one
+			// accounting bucket; wait for strict conservation.
+			for accounted() != uint64(rep.Delivered) {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("testkit: accounting stuck at %d of %d delivered",
+						accounted(), rep.Delivered)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			return nil
+		}
+		// Resets lose a PRNG-chosen partial frame, so the exact count is
+		// unknowable; wait for the counters to go quiet instead.
+		last, stable := accounted(), 0
+		for stable < 25 {
+			if time.Now().After(deadline) {
+				return errors.New("testkit: ingest accounting never settled")
+			}
+			time.Sleep(2 * time.Millisecond)
+			if cur := accounted(); cur == last {
+				stable++
+			} else {
+				last, stable = cur, 0
+			}
+		}
+		return nil
+	}
+
+	round := func() error {
+		if err := quiesce(); err != nil {
+			return err
+		}
+		for _, out := range srv.DetectNow() {
+			rep.Rounds++
+			if out.Err != nil {
+				rep.RoundErrors++
+			}
+		}
+		return nil
+	}
+
+	fail := func(err error) (Report, error) {
+		if serr := shutdown(); serr != nil {
+			err = errors.Join(err, serr)
+		}
+		return rep, err
+	}
+
+	nb := period
+	for _, rec := range records {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		for rec.T >= nb {
+			flushPending()
+			if err := round(); err != nil {
+				return fail(err)
+			}
+			nb += period
+		}
+		line, err := json.Marshal(service.Observation{
+			Recv:   rec.Receiver,
+			Sender: rec.Sender,
+			TMs:    rec.T.Milliseconds(),
+			RSSI:   rec.RSSI,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		line = append(line, '\n')
+		rep.Sent++
+		if s.DropProb > 0 && rng.Float64() < s.DropProb {
+			rep.Dropped++
+			continue
+		}
+		emit(line)
+		if s.DupProb > 0 && rng.Float64() < s.DupProb {
+			rep.Duplicated++
+			emit(line)
+		}
+	}
+	flushPending()
+	if err := round(); err != nil {
+		return fail(err)
+	}
+
+	reg := srv.Registry()
+	for _, recv := range reg.Receivers() {
+		mon := reg.Monitor(recv)
+		if mon == nil {
+			continue
+		}
+		var ids []vanet.NodeID
+		for id, ok := range mon.Confirmed() {
+			if ok {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		rep.Confirmed[recv] = ids
+	}
+
+	if err := shutdown(); err != nil {
+		return rep, fmt.Errorf("testkit: serve: %w", err)
+	}
+	// Shutdown closed every connection, so the event readers drain to
+	// EOF; wait for them before snapshotting the event counts.
+	if conn != nil {
+		conn.Close()
+		conn = nil
+	}
+	readers.Wait()
+	rep.Events = int(events.Load())
+	rep.EventDecodeErrors = int(decodeErrs.Load())
+	rep.Metrics = srv.Metrics().Snapshot()
+	return rep, nil
+}

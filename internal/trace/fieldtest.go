@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"voiceprint/internal/mobility"
@@ -232,6 +233,47 @@ func BuildConvoy(a Area, rng *rand.Rand) ([]*vanet.Node, error) {
 		{Mover: node4, Identities: []vanet.Identity{{ID: Normal4ID, TxPowerDBm: 20}}},
 	}
 	return nodes, nil
+}
+
+// FieldTestRecords runs the scripted field-test convoy through area a
+// for up to dur (0 or anything past the area's duration means the full
+// test) and returns every observer's receptions flattened into one
+// record stream sorted by (time, receiver, sender) — the exact shape
+// cmd/vanet-sim logs and the streaming daemon ingests. It is
+// deterministic in (a, seed, dur), which is what makes it usable as the
+// fixture for golden end-to-end and chaos-replay tests: the same seed
+// always yields byte-identical records. Stop events that no longer fit
+// a truncated duration are dropped, like the examples do.
+func FieldTestRecords(a Area, seed int64, dur time.Duration) ([]Record, error) {
+	if dur > 0 && dur < a.Duration {
+		a.Duration = dur
+		kept := a.Stops[:0:0]
+		for _, stop := range a.Stops {
+			if stop.At+stop.Hold <= a.Duration {
+				kept = append(kept, stop)
+			}
+		}
+		a.Stops = kept
+	}
+	eng, err := NewFieldTestEngine(a, seed)
+	if err != nil {
+		return nil, err
+	}
+	eng.Run(a.Duration)
+	var out []Record
+	for _, log := range eng.Logs() {
+		out = append(out, FromLog(log)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		if out[i].Receiver != out[j].Receiver {
+			return out[i].Receiver < out[j].Receiver
+		}
+		return out[i].Sender < out[j].Sender
+	})
+	return out, nil
 }
 
 // NewFieldTestEngine wires a convoy into a simulation engine with the
