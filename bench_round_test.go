@@ -1,0 +1,145 @@
+package voiceprint
+
+// BenchmarkRoundScheduler measures one scheduler-driven detection round
+// end to end — registry lookup, window extraction, normalization,
+// pairwise FastDTW, LDA + confirmation, metrics — the unit the daemon
+// repeats every period. Each iteration first feeds one fresh beacon per
+// identity so the unchanged-round cache never short-circuits the work
+// (a cached round is ~free and would benchmark the cache, not the
+// round). CI runs it with -bench Round (see .github/workflows/ci.yml);
+// the BENCH_pr4.json artifact records the latency distribution the new
+// round_latency_ns histogram observes — regenerate with
+//
+//	VOICEPRINT_BENCH_JSON=1 go test -run TestWriteBenchPR4JSON .
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"voiceprint/internal/service"
+	"voiceprint/internal/vanet"
+)
+
+const (
+	roundBenchIdentities = 40
+	roundBenchRecv       = vanet.NodeID(9001)
+	roundBenchBeat       = 100 * time.Millisecond
+)
+
+// roundBenchSetup builds a registry with one receiver tracking
+// roundBenchIdentities synthetic vehicles, pre-filled with a 20 s
+// window, plus a single-worker scheduler over it.
+func roundBenchSetup(tb testing.TB) (*service.Registry, *service.Scheduler, *service.Metrics, time.Duration) {
+	tb.Helper()
+	m := &service.Metrics{}
+	cfg := DefaultDetectorConfig(benchBoundary())
+	cfg.MinMedianRSSIDBm = 0 // keep every synthetic vehicle in view
+	reg, err := service.NewRegistry(service.RegistryConfig{
+		Monitor: MonitorConfig{Detector: cfg},
+	}, m)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sched, err := service.NewScheduler(reg, m, 1, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	steps := int(cfg.ObservationTime / roundBenchBeat)
+	var now time.Duration
+	for i := 0; i < steps; i++ {
+		now = time.Duration(i) * roundBenchBeat
+		feedRoundBench(tb, reg, now, i)
+	}
+	return reg, sched, m, now
+}
+
+// feedRoundBench sends one beacon per identity at stream time now: a
+// deterministic per-identity fading shape (no PRNG in the timed loop).
+func feedRoundBench(tb testing.TB, reg *service.Registry, now time.Duration, step int) {
+	tb.Helper()
+	for id := 1; id <= roundBenchIdentities; id++ {
+		// Distinct slopes and phases per identity, wiggle per step: enough
+		// signal shape for DTW to chew on without a channel simulation.
+		rssi := -55 - float64(id%13) - 0.5*float64((step+id)%17)
+		err := reg.Observe(service.Observation{
+			Recv:   roundBenchRecv,
+			Sender: vanet.NodeID(id),
+			TMs:    now.Milliseconds(),
+			RSSI:   rssi,
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundScheduler(b *testing.B) {
+	reg, sched, _, now := roundBenchSetup(b)
+	// Warm one round so the detector's scratch and workspace pools exist:
+	// the numbers should show the steady state a long-running daemon sits
+	// in, not first-round pool growth.
+	if out := sched.DetectOne(roundBenchRecv, now); out.Err != nil {
+		b.Fatal(out.Err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += roundBenchBeat
+		feedRoundBench(b, reg, now, i)
+		if out := sched.DetectOne(roundBenchRecv, now); out.Err != nil {
+			b.Fatal(out.Err)
+		}
+	}
+}
+
+// TestWriteBenchPR4JSON regenerates BENCH_pr4.json: the scheduler-round
+// latency distribution (p50/p95/p99/mean) as observed by the
+// round_latency_ns histogram this PR adds — the artifact doubles as an
+// end-to-end check that the histogram quantiles track real timings.
+func TestWriteBenchPR4JSON(t *testing.T) {
+	if os.Getenv("VOICEPRINT_BENCH_JSON") == "" {
+		t.Skip("set VOICEPRINT_BENCH_JSON=1 to regenerate BENCH_pr4.json")
+	}
+	reg, sched, m, now := roundBenchSetup(t)
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		now += roundBenchBeat
+		feedRoundBench(t, reg, now, i)
+		if out := sched.DetectOne(roundBenchRecv, now); out.Err != nil {
+			t.Fatal(out.Err)
+		}
+	}
+	snap := m.RoundLatency.Snapshot()
+	if snap.Count != rounds {
+		t.Fatalf("histogram saw %d rounds, want %d", snap.Count, rounds)
+	}
+	doc := struct {
+		Benchmark  string  `json:"benchmark"`
+		Identities int     `json:"identities"`
+		Rounds     uint64  `json:"rounds"`
+		P50Ns      float64 `json:"p50_ns"`
+		P95Ns      float64 `json:"p95_ns"`
+		P99Ns      float64 `json:"p99_ns"`
+		MeanNs     float64 `json:"mean_ns"`
+		Source     string  `json:"source"`
+	}{
+		Benchmark:  "BenchmarkRoundScheduler (scheduler round, 1 receiver, fresh beacons per round)",
+		Identities: roundBenchIdentities,
+		Rounds:     snap.Count,
+		P50Ns:      snap.Quantile(0.50),
+		P95Ns:      snap.Quantile(0.95),
+		P99Ns:      snap.Quantile(0.99),
+		MeanNs:     snap.Mean(),
+		Source:     "voiceprintd_round_latency_ns histogram (internal/obs), log2 buckets",
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr4.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_pr4.json: p50 %.0f ns, p99 %.0f ns over %d rounds", doc.P50Ns, doc.P99Ns, doc.Rounds)
+}

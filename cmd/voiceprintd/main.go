@@ -31,7 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -72,7 +72,15 @@ func run() error {
 	drainTimeout := flag.Duration("drain-timeout", 0, "graceful-shutdown flush budget before force-closing connections (0 = default 2s)")
 	replay := flag.String("replay", "", "replay a trace CSV through the ingest path and exit")
 	speed := flag.Float64("speed", 0, "replay speedup vs stream time (0 = as fast as possible)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof and /debug/vars on the admin address")
 	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	regCfg := service.RegistryConfig{
 		Monitor: core.MonitorConfig{
@@ -91,7 +99,7 @@ func run() error {
 	defer stop()
 
 	if *replay != "" {
-		return runReplay(ctx, *replay, regCfg, *period, *speed, *workers)
+		return runReplay(ctx, *replay, regCfg, *period, *speed, *workers, logger)
 	}
 
 	cfg := service.Config{
@@ -106,7 +114,7 @@ func run() error {
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		DrainTimeout: *drainTimeout,
-		Logf:         log.Printf,
+		Logger:       logger,
 	}
 	if *socket != "" {
 		cfg.Network, cfg.Addr = "unix", *socket
@@ -115,30 +123,35 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("voiceprintd: ingest on %s://%v, period %v", cfg.Network, srv.Addr(), *period)
+	logger.Info("voiceprintd: ingest listening",
+		"network", cfg.Network, "addr", srv.Addr().String(), "period", *period)
 
 	if *admin != "" {
 		adminSrv := &http.Server{
-			Addr:    *admin,
-			Handler: service.AdminHandler(srv.Metrics(), srv.Registry()),
+			Addr: *admin,
+			Handler: service.NewAdminHandler(service.AdminConfig{
+				Metrics:  srv.Metrics(),
+				Registry: srv.Registry(),
+				Pprof:    *pprofFlag,
+			}),
 		}
 		go func() {
 			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("voiceprintd: admin: %v", err)
+				logger.Error("voiceprintd: admin server failed", "err", err)
 			}
 		}()
 		defer adminSrv.Close()
-		log.Printf("voiceprintd: admin on http://%s/metrics", *admin)
+		logger.Info("voiceprintd: admin listening", "addr", *admin, "pprof", *pprofFlag)
 	}
 
 	err = srv.Serve(ctx)
-	log.Printf("voiceprintd: drained, exiting")
+	logger.Info("voiceprintd: drained, exiting")
 	return err
 }
 
 // runReplay streams a trace CSV through the ingest path, printing the
 // verdict event stream to stdout.
-func runReplay(ctx context.Context, path string, regCfg service.RegistryConfig, period time.Duration, speed float64, workers int) error {
+func runReplay(ctx context.Context, path string, regCfg service.RegistryConfig, period time.Duration, speed float64, workers int, logger *slog.Logger) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -157,9 +170,11 @@ func runReplay(ctx context.Context, path string, regCfg service.RegistryConfig, 
 		return err
 	}
 	snap := metrics.Snapshot()
-	log.Printf("voiceprintd: replay done: %d observations, %d rounds (%d unchanged, served from cache), %d suspects flagged, %d stale dropped",
-		snap["observations_ingested_total"], snap["rounds_run_total"],
-		snap["rounds_skipped_unchanged_total"],
-		snap["suspects_flagged_total"], snap["stale_dropped_total"])
+	logger.Info("voiceprintd: replay done",
+		"observations", snap["observations_ingested_total"],
+		"rounds", snap["rounds_run_total"],
+		"rounds_cached", snap["rounds_skipped_unchanged_total"],
+		"suspects_flagged", snap["suspects_flagged_total"],
+		"stale_dropped", snap["stale_dropped_total"])
 	return nil
 }

@@ -1,0 +1,47 @@
+package voiceprint_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"voiceprint"
+)
+
+// ExampleNewMonitor streams beacons from three identities into a
+// Monitor: identities 1 and 2 are one physical radio (one shared fading
+// trajectory, independent measurement noise), identity 3 is a distinct
+// vehicle. One detection round over the trailing window flags the pair.
+func ExampleNewMonitor() {
+	mon, err := voiceprint.NewMonitor(voiceprint.MonitorConfig{
+		Detector: voiceprint.DefaultDetectorConfig(voiceprint.ConstantBoundary(0.05)),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 60; i++ {
+		t := time.Duration(i) * 100 * time.Millisecond
+		// Sybil pair: the attacker's channel, sampled twice.
+		shared := -60 + 10*math.Sin(float64(i)/6)
+		mon.Observe(1, t, shared+0.3*rng.NormFloat64())
+		mon.Observe(2, t, shared+0.3*rng.NormFloat64())
+		// Independent vehicle on its own channel.
+		mon.Observe(3, t, -70+8*math.Cos(float64(i)/5)+0.3*rng.NormFloat64())
+	}
+
+	res, err := mon.Detect()
+	if err != nil {
+		panic(err)
+	}
+	suspects := make([]int, 0, len(res.Suspects))
+	for id := range res.Suspects {
+		suspects = append(suspects, int(id))
+	}
+	sort.Ints(suspects)
+	fmt.Println("suspects:", suspects)
+	// Output: suspects: [1 2]
+}

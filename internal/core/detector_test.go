@@ -538,8 +538,39 @@ func TestDetectSteadyStateAllocs(t *testing.T) {
 		}
 	})
 	// 105 pairs used to cost ~55 allocations per identity plus one per
-	// pair; the budget leaves headroom for the Result payload only.
+	// pair; the budget leaves headroom for the Result payload only. The
+	// nil-Observer instrumentation guards must add exactly nothing here —
+	// a regression means the hook stopped being free for deployments that
+	// don't install one.
 	if allocs > 12 {
-		t.Errorf("steady-state round allocates %.0f times, budget is 12", allocs)
+		t.Errorf("steady-state round (nil Observer) allocates %.0f times, budget is 12", allocs)
+	}
+
+	// An installed observer may not change the budget either: stage
+	// timing is clock reads plus the observer call, both allocation-free.
+	obsCfg := cfg
+	obsCfg.Observer = noopObserver{}
+	obsDet, err := New(obsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := obsDet.Detect(series, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obsAllocs := testing.AllocsPerRun(10, func() {
+		if _, err := obsDet.Detect(series, 20); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if obsAllocs > allocs {
+		t.Errorf("observer-instrumented round allocates %.0f times vs %.0f bare; stage timing must be allocation-free", obsAllocs, allocs)
 	}
 }
+
+// noopObserver is the cheapest possible Observer: the alloc test uses it
+// to prove the instrumented path itself allocates nothing.
+type noopObserver struct{}
+
+func (noopObserver) ObserveStage(Stage, time.Duration) {}

@@ -27,9 +27,14 @@ type Monitor struct {
 	det       *Detector
 	estimator *DensityEstimator
 	confirmer *Confirmer
+	// obsv mirrors the detector config's Observer so the window-
+	// extraction stage (which runs here, before the detector) reports
+	// through the same hook.
+	obsv Observer
 
 	window     time.Duration
 	evictAfter time.Duration
+	tolerance  time.Duration
 	series     map[vanet.NodeID]*timeseries.Series
 	lastObs    map[vanet.NodeID]time.Duration
 	now        time.Duration
@@ -65,6 +70,14 @@ type MonitorConfig struct {
 	// EvictAfter drops identities not heard for this long; zero means
 	// twice the detector's observation time.
 	EvictAfter time.Duration
+	// ReorderTolerance is how far back in time an observation may arrive
+	// relative to the newest observation and still be accepted by
+	// Observe (clamped forward to the monitor clock); anything older is
+	// rejected with ErrTimeBackwards. Zero or negative keeps strict
+	// monotonicity — the offline/batch default. Network ingest paths set
+	// a few beacon intervals so slightly late deliveries do not poison
+	// the stream.
+	ReorderTolerance time.Duration
 }
 
 // NewMonitor builds a Monitor.
@@ -99,12 +112,18 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if evictAfter == 0 {
 		evictAfter = 2 * window
 	}
+	tolerance := cfg.ReorderTolerance
+	if tolerance < 0 {
+		tolerance = 0
+	}
 	return &Monitor{
 		det:        det,
 		estimator:  est,
 		confirmer:  conf,
+		obsv:       det.Config().Observer,
 		window:     window,
 		evictAfter: evictAfter,
+		tolerance:  tolerance,
 		series:     make(map[vanet.NodeID]*timeseries.Series),
 		lastObs:    make(map[vanet.NodeID]time.Duration),
 	}, nil
@@ -119,40 +138,38 @@ var ErrTimeBackwards = errors.New("core: observation time went backwards")
 // the window, so it is rejected at ingest instead.
 var ErrNonFiniteRSSI = errors.New("core: non-finite RSSI")
 
-// Observe feeds one received beacon. Observations must be non-decreasing
-// in time across all identities and carry a finite RSSI.
+// Observe feeds one received beacon, carrying a finite RSSI. Timestamps
+// must be non-decreasing across all identities up to the configured
+// MonitorConfig.ReorderTolerance: a timestamp at most that far behind
+// the newest observation is clamped forward to it (the sample still
+// lands in the window; order within a series is what DTW absorbs
+// anyway), anything older is rejected with ErrTimeBackwards. With the
+// zero tolerance — the default — ordering is strictly monotone.
+//
+// Observe is the single ingest entry point; ObserveClamped remains only
+// as a deprecated per-call-tolerance variant.
 func (m *Monitor) Observe(id vanet.NodeID, t time.Duration, rssi float64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if math.IsNaN(rssi) || math.IsInf(rssi, 0) {
-		return fmt.Errorf("%w: %v at %v", ErrNonFiniteRSSI, rssi, t)
-	}
-	if t < m.now {
-		return fmt.Errorf("%w: %v after %v", ErrTimeBackwards, t, m.now)
-	}
-	m.now = t
-	s := m.series[id]
-	if s == nil {
-		s = timeseries.New(64)
-		m.series[id] = s
-	}
-	if err := s.Append(t, rssi); err != nil {
-		return err
-	}
-	m.lastObs[id] = t
-	m.version++
-	return nil
+	return m.observeLocked(id, t, rssi, m.tolerance)
 }
 
-// ObserveClamped feeds one beacon, tolerating bounded reordering: a
-// timestamp up to tolerance behind the newest observation is clamped
-// forward to it (the sample still lands in the window, order within the
-// series is what DTW absorbs anyway); anything older is rejected with
-// ErrTimeBackwards. Network ingest paths use this instead of Observe so a
-// slightly late UDP-ish delivery does not poison the stream.
+// ObserveClamped feeds one beacon with an explicit reorder tolerance
+// overriding the configured one.
+//
+// Deprecated: set MonitorConfig.ReorderTolerance and call Observe; the
+// two-method split predates the config knob and survives only for
+// compatibility.
 func (m *Monitor) ObserveClamped(id vanet.NodeID, t time.Duration, rssi float64, tolerance time.Duration) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.observeLocked(id, t, rssi, tolerance)
+}
+
+// observeLocked implements ingest under m.mu; tolerance bounds how far
+// behind the monitor clock a timestamp may lag and still be clamped
+// forward.
+func (m *Monitor) observeLocked(id vanet.NodeID, t time.Duration, rssi float64, tolerance time.Duration) error {
 	if math.IsNaN(rssi) || math.IsInf(rssi, 0) {
 		return fmt.Errorf("%w: %v at %v", ErrNonFiniteRSSI, rssi, t)
 	}
@@ -221,6 +238,13 @@ func (m *Monitor) detectAtLocked(end time.Duration) (*Result, error) {
 		cp.Cached = true
 		return &cp, nil
 	}
+	// Window extraction is the round's monitor-side stage; like the
+	// detector's stages it is timed only when an observer is installed
+	// (cached rounds above never reach it — they do no window work).
+	var windowStart time.Time
+	if m.obsv != nil {
+		windowStart = time.Now()
+	}
 	from := end - m.window
 	if from < 0 {
 		from = 0
@@ -245,6 +269,9 @@ func (m *Monitor) detectAtLocked(end time.Duration) (*Result, error) {
 		m.heard = append(m.heard, id)
 	}
 	density := m.estimator.Estimate(m.heard)
+	if m.obsv != nil {
+		m.obsv.ObserveStage(StageWindow, time.Since(windowStart))
+	}
 	res, err := m.det.Detect(m.input, density)
 	if err != nil {
 		return nil, err

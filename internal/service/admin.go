@@ -1,0 +1,71 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminConfig configures the daemon's HTTP admin surface.
+type AdminConfig struct {
+	// Metrics is the instrument set to serve. Required.
+	Metrics *Metrics
+	// Registry, when non-nil, adds the scrape-time identity gauges
+	// (receivers, identities tracked/evicted/confirmed).
+	Registry *Registry
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/ and
+	// expvar under /debug/vars. Off by default: the profiling endpoints
+	// expose heap contents, execution traces and command lines, so they
+	// are opt-in and belong behind a loopback-bound admin listener (the
+	// daemon's -pprof flag). They share the admin mux rather than the
+	// process-global http.DefaultServeMux, so enabling them never leaks
+	// onto another listener.
+	Pprof bool
+}
+
+// NewAdminHandler serves the daemon's HTTP admin surface:
+//
+//	GET /healthz              — liveness, always "ok\n" while the process serves
+//	GET /metrics              — Prometheus text exposition: counters, identity
+//	                            gauges, and round-latency/stage histograms
+//	GET /metrics?format=json  — the legacy flat JSON counter map (the
+//	                            pre-histogram telemetry shape, byte-compatible
+//	                            with Metrics.Snapshot)
+//	/debug/pprof/*, /debug/vars — optional, see AdminConfig.Pprof
+func NewAdminHandler(cfg AdminConfig) http.Handler {
+	obsReg := cfg.Metrics.Instruments(cfg.Registry)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			obsReg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obsReg.WritePrometheus(w)
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+	}
+	return mux
+}
+
+// AdminHandler is the pre-AdminConfig constructor, equivalent to
+// NewAdminHandler without the optional debug endpoints. reg may be nil
+// (metrics-only rendering, used before the registry exists and in
+// tests).
+//
+// Deprecated: use NewAdminHandler, which adds the opt-in pprof surface.
+func AdminHandler(m *Metrics, reg *Registry) http.Handler {
+	return NewAdminHandler(AdminConfig{Metrics: m, Registry: reg})
+}

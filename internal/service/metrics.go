@@ -1,75 +1,107 @@
 package service
 
 import (
-	"fmt"
-	"net/http"
-	"sort"
-	"sync/atomic"
+	"time"
+
+	"voiceprint/internal/core"
+	"voiceprint/internal/obs"
 )
 
-// Metrics are the daemon's operational counters. All fields are
-// monotonic counters updated lock-free from ingest and scheduler
-// goroutines; gauges derived from live state (identities tracked,
-// currently confirmed, evicted) are computed at scrape time from the
-// Registry.
+// Metrics are the daemon's operational instruments, built on the
+// internal/obs registry layer: lock-free counters updated from ingest
+// and scheduler goroutines, plus latency histograms for the round hot
+// path. Every instrument is a value field whose zero value is ready to
+// use, so `&Metrics{}` works exactly as it did when the fields were raw
+// atomics; the obs.Registry produced by Instruments only references
+// them for rendering.
+//
+// Counter names (the Snapshot keys and Prometheus families) are
+// bit-compatible with the pre-redesign hand-rolled struct — dashboards
+// and the testkit's conservation accounting parse the same names.
 type Metrics struct {
 	// ObservationsIngested counts beacons accepted into a monitor.
-	ObservationsIngested atomic.Uint64
+	ObservationsIngested obs.Counter
 	// MalformedDropped counts inbound lines that failed to parse or
 	// validate.
-	MalformedDropped atomic.Uint64
+	MalformedDropped obs.Counter
 	// StaleDropped counts observations rejected for regressing further
 	// back in time than the reorder tolerance (ErrTimeBackwards).
-	StaleDropped atomic.Uint64
+	StaleDropped obs.Counter
 	// BackpressureDropped counts observations shed because a
 	// connection's bounded ingest buffer was full.
-	BackpressureDropped atomic.Uint64
+	BackpressureDropped obs.Counter
 	// OversizedDropped counts inbound lines discarded for exceeding
 	// MaxLineBytes; the connection survives, only the line is shed.
-	OversizedDropped atomic.Uint64
+	OversizedDropped obs.Counter
 	// EventsDropped counts verdict events shed because a subscriber's
 	// outbound buffer was full.
-	EventsDropped atomic.Uint64
+	EventsDropped obs.Counter
 	// IdleDisconnects counts connections closed because no inbound data
 	// arrived within the read idle timeout.
-	IdleDisconnects atomic.Uint64
+	IdleDisconnects obs.Counter
 	// SlowClientsEvicted counts connections closed because an event
 	// write did not complete within the write timeout (a stalled reader
 	// on the far side must not pin daemon memory or goroutines).
-	SlowClientsEvicted atomic.Uint64
+	SlowClientsEvicted obs.Counter
 	// ConnsForceClosed counts connections force-closed at shutdown after
 	// the graceful drain timeout expired.
-	ConnsForceClosed atomic.Uint64
+	ConnsForceClosed obs.Counter
 	// ReceiversRejected counts observations dropped because the registry
 	// was at its receiver capacity.
-	ReceiversRejected atomic.Uint64
-	// RoundsRun counts completed detection rounds (including errored).
-	RoundsRun atomic.Uint64
+	ReceiversRejected obs.Counter
+	// RoundsRun counts every detection round that returned — successful,
+	// errored, and cache-served alike. Coalesced ticks (skipped before
+	// running) and panicked rounds are counted separately and are NOT in
+	// RoundsRun.
+	RoundsRun obs.Counter
 	// RoundErrors counts detection rounds that returned an error.
-	RoundErrors atomic.Uint64
+	RoundErrors obs.Counter
 	// RoundPanics counts detection rounds that panicked and were
 	// recovered into an errored outcome (a detector bug must not take
 	// the daemon down with it).
-	RoundPanics atomic.Uint64
+	RoundPanics obs.Counter
 	// RoundsCoalesced counts scheduled rounds skipped because the same
 	// receiver's previous round was still in flight.
-	RoundsCoalesced atomic.Uint64
+	RoundsCoalesced obs.Counter
 	// RoundsSkippedUnchanged counts rounds answered from a monitor's
 	// unchanged-round cache: no observation arrived for the receiver since
 	// its previous round at the same window end, so the full detection
 	// pipeline was short-circuited.
-	RoundsSkippedUnchanged atomic.Uint64
+	RoundsSkippedUnchanged obs.Counter
 	// SuspectsFlagged counts identity flags summed over rounds.
-	SuspectsFlagged atomic.Uint64
-	// RoundLatencyNs accumulates wall-clock nanoseconds spent in rounds;
-	// divide by RoundsRun for the mean.
-	RoundLatencyNs atomic.Uint64
+	SuspectsFlagged obs.Counter
+	// RoundLatencyNs accumulates wall-clock nanoseconds spent in rounds.
+	// Kept for name compatibility; the RoundLatency histogram is the
+	// source of truth for latency analysis (percentiles, not just a
+	// mean). When a mean is all you need, the denominator is
+	// rounds_run_total — which includes errored and cache-served rounds,
+	// so the quotient under-reports the cost of a *full* round whenever
+	// the unchanged-round cache is hitting; prefer
+	// RoundLatency.Snapshot().Mean().
+	RoundLatencyNs obs.Counter
 	// ConnsOpened and ConnsClosed count ingest connections.
-	ConnsOpened, ConnsClosed atomic.Uint64
+	ConnsOpened, ConnsClosed obs.Counter
+
+	// RoundLatency is the wall-clock latency histogram over every round
+	// counted by RoundsRun (same population as RoundLatencyNs, with
+	// distribution). Fixed log-spaced ns buckets; see internal/obs.
+	RoundLatency obs.Histogram
+	// IngestLag measures, per completed round, how far the receiver's
+	// ingest clock had run past the round's evaluated window end — the
+	// detection pipeline's lag behind the beacon stream. Zero while the
+	// daemon keeps up; growing percentiles mean rounds are falling
+	// behind ingest (the density-driven cost growth of Table VI).
+	IngestLag obs.Histogram
+	// StageLatency breaks round time down by detection stage (window
+	// extraction, collection, normalization, pairwise DTW, confirmation),
+	// fed through the core.Observer hook installed by NewRegistry.
+	StageLatency [core.NumStages]obs.Histogram
 }
 
-// Snapshot returns the counters as a name → value map (the /metrics
-// rendering order is the sorted key order).
+// Snapshot returns the counters as a name → value map — the legacy
+// telemetry shape (/metrics?format=json serves its JSON encoding).
+// Histograms are not part of this surface; scrape the Prometheus text
+// format for distributions.
 func (m *Metrics) Snapshot() map[string]uint64 {
 	return map[string]uint64{
 		"observations_ingested_total":    m.ObservationsIngested.Load(),
@@ -94,36 +126,69 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 	}
 }
 
-// AdminHandler serves the daemon's HTTP admin surface:
-//
-//	GET /healthz  — liveness, always "ok\n" while the process serves
-//	GET /metrics  — counters and registry gauges, Prometheus text format
-//
-// reg may be nil (metrics-only rendering, used before the registry
-// exists and in tests).
-func AdminHandler(m *Metrics, reg *Registry) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		snap := m.Snapshot()
-		names := make([]string, 0, len(snap))
-		for name := range snap {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			fmt.Fprintf(w, "voiceprintd_%s %d\n", name, snap[name])
-		}
-		if reg != nil {
-			fmt.Fprintf(w, "voiceprintd_receivers %d\n", len(reg.Receivers()))
-			fmt.Fprintf(w, "voiceprintd_identities_tracked %d\n", reg.TrackedTotal())
-			fmt.Fprintf(w, "voiceprintd_identities_evicted_total %d\n", reg.EvictedTotal())
-			fmt.Fprintf(w, "voiceprintd_identities_confirmed %d\n", reg.ConfirmedTotal())
-		}
-	})
-	return mux
+// StageObserver returns the core.Observer feeding the per-stage latency
+// histograms. NewRegistry installs it into the monitor template when the
+// caller hasn't provided an observer of their own.
+func (m *Metrics) StageObserver() core.Observer { return stageObserver{m} }
+
+// stageObserver adapts Metrics to the core.Observer hook. It is a
+// one-word value (converting it to the interface does not allocate per
+// call) and ObserveStage is two atomic adds.
+type stageObserver struct{ m *Metrics }
+
+func (o stageObserver) ObserveStage(s core.Stage, d time.Duration) {
+	if int(s) < len(o.m.StageLatency) {
+		o.m.StageLatency[s].Observe(d.Nanoseconds())
+	}
+}
+
+// Instruments builds the obs.Registry rendering this Metrics value: all
+// counters under their legacy names, the latency histograms, and — when
+// reg is non-nil — the registry-derived identity gauges computed at
+// scrape time. The returned registry only references the instruments;
+// building one per admin handler is cheap and keeps registration
+// single-shot.
+func (m *Metrics) Instruments(reg *Registry) *obs.Registry {
+	r := obs.NewRegistry("voiceprintd")
+	r.Counter("observations_ingested_total", "Beacons accepted into a monitor.", &m.ObservationsIngested)
+	r.Counter("malformed_dropped_total", "Inbound lines that failed to parse or validate.", &m.MalformedDropped)
+	r.Counter("stale_dropped_total", "Observations older than the reorder tolerance.", &m.StaleDropped)
+	r.Counter("backpressure_dropped_total", "Observations shed on a full per-connection ingest buffer.", &m.BackpressureDropped)
+	r.Counter("oversized_dropped_total", "Inbound lines discarded for exceeding the line-length cap.", &m.OversizedDropped)
+	r.Counter("events_dropped_total", "Verdict events shed on a full subscriber buffer.", &m.EventsDropped)
+	r.Counter("idle_disconnects_total", "Connections closed for ingest silence past the idle timeout.", &m.IdleDisconnects)
+	r.Counter("slow_clients_evicted_total", "Connections closed for stalling an event write past the write timeout.", &m.SlowClientsEvicted)
+	r.Counter("connections_force_closed_total", "Connections force-closed after the shutdown drain timeout.", &m.ConnsForceClosed)
+	r.Counter("receivers_rejected_total", "Observations dropped at the registry's receiver capacity.", &m.ReceiversRejected)
+	r.Counter("rounds_run_total", "Detection rounds that returned (successful, errored and cache-served).", &m.RoundsRun)
+	r.Counter("round_errors_total", "Detection rounds that returned an error.", &m.RoundErrors)
+	r.Counter("round_panics_total", "Detection rounds recovered from a panic.", &m.RoundPanics)
+	r.Counter("rounds_coalesced_total", "Scheduled rounds skipped because the previous round was in flight.", &m.RoundsCoalesced)
+	r.Counter("rounds_skipped_unchanged_total", "Rounds served from the unchanged-round cache.", &m.RoundsSkippedUnchanged)
+	r.Counter("suspects_flagged_total", "Identity flags summed over rounds.", &m.SuspectsFlagged)
+	r.Counter("round_latency_ns_total", "Wall-clock nanoseconds summed over rounds; round_latency_ns is the source of truth, divide by rounds_run_total for a mean across all returned rounds.", &m.RoundLatencyNs)
+	r.Counter("connections_opened_total", "Ingest connections accepted.", &m.ConnsOpened)
+	r.Counter("connections_closed_total", "Ingest connections closed.", &m.ConnsClosed)
+
+	r.Histogram("round_latency_ns", "Wall-clock detection round latency, nanoseconds.", &m.RoundLatency)
+	r.Histogram("round_ingest_lag_ns", "Stream-time lag of a round's window end behind its receiver's ingest clock, nanoseconds.", &m.IngestLag)
+	for s := core.Stage(0); s < core.NumStages; s++ {
+		r.Histogram("round_stage_latency_ns", "Detection round stage latency, nanoseconds.", &m.StageLatency[s], "stage", s.String())
+	}
+
+	if reg != nil {
+		r.GaugeFunc("receivers", "Receiver monitors materialized.", func() int64 {
+			return int64(len(reg.Receivers()))
+		})
+		r.GaugeFunc("identities_tracked", "Identities currently buffered across receivers.", func() int64 {
+			return int64(reg.TrackedTotal())
+		})
+		r.CounterFunc("identities_evicted_total", "Identities evicted for silence across receivers.", func() uint64 {
+			return reg.EvictedTotal()
+		})
+		r.GaugeFunc("identities_confirmed", "Identities currently confirmed Sybil across receivers.", func() int64 {
+			return int64(reg.ConfirmedTotal())
+		})
+	}
+	return r
 }

@@ -41,19 +41,27 @@ type Registry struct {
 
 // NewRegistry builds a Registry. The monitor template is validated
 // eagerly by constructing (and discarding) one instance, so a bad
-// configuration fails at startup rather than on first beacon.
+// configuration fails at startup rather than on first beacon. Unless
+// the caller installed a core.Observer of their own, every monitor is
+// instrumented with the metrics' per-stage latency histograms.
 func NewRegistry(cfg RegistryConfig, metrics *Metrics) (*Registry, error) {
 	if metrics == nil {
 		return nil, errors.New("service: nil metrics")
-	}
-	if _, err := core.NewMonitor(cfg.Monitor); err != nil {
-		return nil, fmt.Errorf("service: monitor template: %w", err)
 	}
 	if cfg.ReorderTolerance == 0 {
 		cfg.ReorderTolerance = 500 * time.Millisecond
 	}
 	if cfg.ReorderTolerance < 0 {
 		cfg.ReorderTolerance = 0
+	}
+	// The service speaks the single Observe entry point: the tolerance
+	// lives on the monitor template rather than being re-passed per call.
+	cfg.Monitor.ReorderTolerance = cfg.ReorderTolerance
+	if cfg.Monitor.Detector.Observer == nil {
+		cfg.Monitor.Detector.Observer = metrics.StageObserver()
+	}
+	if _, err := core.NewMonitor(cfg.Monitor); err != nil {
+		return nil, fmt.Errorf("service: monitor template: %w", err)
 	}
 	if cfg.MaxReceivers == 0 {
 		cfg.MaxReceivers = 4096
@@ -79,7 +87,7 @@ func (r *Registry) Observe(o Observation) error {
 		r.metrics.ReceiversRejected.Add(1)
 		return nil
 	}
-	err = mon.ObserveClamped(o.Sender, o.T(), o.RSSI, r.cfg.ReorderTolerance)
+	err = mon.Observe(o.Sender, o.T(), o.RSSI)
 	if errors.Is(err, core.ErrTimeBackwards) {
 		r.metrics.StaleDropped.Add(1)
 		return nil

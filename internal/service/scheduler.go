@@ -174,6 +174,7 @@ func (s *Scheduler) round(recv vanet.NodeID, at time.Duration) (out RoundOutcome
 	out.Latency = time.Since(start)
 	s.metrics.RoundsRun.Add(1)
 	s.metrics.RoundLatencyNs.Add(uint64(out.Latency.Nanoseconds()))
+	s.metrics.RoundLatency.Observe(out.Latency.Nanoseconds())
 	if err != nil {
 		out.Err = err
 		s.metrics.RoundErrors.Add(1)
@@ -186,6 +187,18 @@ func (s *Scheduler) round(recv vanet.NodeID, at time.Duration) (out RoundOutcome
 	// clock and running the round.
 	out.At = res.WindowEnd
 	out.Confirmed = res.Confirmed
+	// Ingest lag: how far the receiver's stream has run past the window
+	// this round evaluated. Live rounds pin the window to the newest
+	// observation at round start, so any lag is ingest that arrived while
+	// the round computed; fixed-boundary (replay) rounds additionally see
+	// the scheduling slack behind the stream. Observed on every
+	// successful round — the zeros are the signal that detection keeps
+	// up.
+	lag := mon.Now() - res.WindowEnd
+	if lag < 0 {
+		lag = 0
+	}
+	s.metrics.IngestLag.Observe(lag.Nanoseconds())
 	if res.Cached {
 		s.metrics.RoundsSkippedUnchanged.Add(1)
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -56,7 +57,16 @@ type Config struct {
 	// writers this long to flush buffered events before force-closing
 	// stragglers. Zero means 2 s.
 	DrainTimeout time.Duration
+	// Logger, when non-nil, receives structured operational logs;
+	// per-connection records carry the remote address (and, for ingest
+	// errors, the receiver) as attributes. When nil, Logf — if set —
+	// receives the same records formatted as plain lines; when both are
+	// nil, logs are discarded.
+	Logger *slog.Logger
 	// Logf, when non-nil, receives operational log lines.
+	//
+	// Deprecated: prefer Logger. Logf survives as a formatting shim over
+	// the structured records.
 	Logf func(format string, args ...any)
 }
 
@@ -100,8 +110,12 @@ func (c *Config) fillDefaults() error {
 	if c.DrainTimeout < 0 {
 		return errors.New("service: negative drain timeout")
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		if c.Logf != nil {
+			c.Logger = slog.New(logfHandler{logf: c.Logf})
+		} else {
+			c.Logger = slog.New(discardHandler{})
+		}
 	}
 	return nil
 }
@@ -265,6 +279,12 @@ func (s *Server) handleConn(c net.Conn) {
 	s.metrics.ConnsOpened.Add(1)
 	defer s.metrics.ConnsClosed.Add(1)
 
+	// Every record for this connection carries the peer address; ingest
+	// errors additionally carry the receiver the observation was for.
+	clog := s.cfg.Logger.With("remote", connAddr(c))
+	clog.Debug("service: client connected")
+	defer clog.Debug("service: client disconnected")
+
 	sc := &serverConn{c: c, events: make(chan []byte, s.cfg.EventBuffer)}
 	s.mu.Lock()
 	if s.closed {
@@ -288,7 +308,7 @@ func (s *Server) handleConn(c net.Conn) {
 				var ne net.Error
 				if errors.As(err, &ne) && ne.Timeout() {
 					s.metrics.SlowClientsEvicted.Add(1)
-					s.cfg.Logf("service: evicting slow client %v", c.RemoteAddr())
+					clog.Warn("service: evicting slow client", "write_timeout", s.cfg.WriteTimeout)
 				}
 				c.Close() // unblocks the reader; cleanup follows
 				// Drain remaining events so broadcast never blocks.
@@ -307,7 +327,7 @@ func (s *Server) handleConn(c net.Conn) {
 		defer close(applierDone)
 		for o := range ingest {
 			if err := s.reg.Observe(o); err != nil {
-				s.cfg.Logf("service: ingest: %v", err)
+				clog.Warn("service: ingest error", "recv", uint64(o.Recv), "err", err)
 			}
 		}
 	}()
@@ -354,10 +374,10 @@ func (s *Server) handleConn(c net.Conn) {
 			s.mu.Unlock()
 			if !closed {
 				s.metrics.IdleDisconnects.Add(1)
-				s.cfg.Logf("service: disconnecting idle client %v", c.RemoteAddr())
+				clog.Info("service: disconnecting idle client", "idle_timeout", s.cfg.IdleTimeout)
 			}
 		} else {
-			s.cfg.Logf("service: conn %v: %v", c.RemoteAddr(), err)
+			clog.Warn("service: connection error", "err", err)
 		}
 	}
 
@@ -372,6 +392,15 @@ func (s *Server) handleConn(c net.Conn) {
 	<-writerDone
 	c.Close()
 	sc.torn.Store(true)
+}
+
+// connAddr renders a connection's peer address, tolerating conns (test
+// doubles, some unix sockets) without one.
+func connAddr(c net.Conn) string {
+	if a := c.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "unknown"
 }
 
 // enqueue attempts a non-blocking put into a bounded ingest buffer,

@@ -1,0 +1,87 @@
+package testkit
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"voiceprint/internal/service"
+)
+
+// TestAdminJSONCompat drives a live server, then asserts the admin
+// endpoint's ?format=json output is byte-identical to marshaling
+// Metrics().Snapshot() — the pre-Prometheus telemetry shape this kit's
+// conservation accounting (and any deployed scraper of the old JSON
+// endpoint) consumes. The Prometheus default must carry the same
+// counters under the voiceprintd_ namespace.
+func TestAdminJSONCompat(t *testing.T) {
+	srv, addr, stop := startHardenedServer(t, chaosServiceConfig(), Config{Seed: 1})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := int64(0); i < 5; i++ {
+		if _, err := conn.Write(obsLine(t, 2, 1, 1000+i*100, -55)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := srv.Metrics()
+	waitFor(t, "ingest", func() bool { return m.ObservationsIngested.Load() == 5 })
+	srv.DetectNow()
+	// Shut down first so every counter is final: the compat contract is
+	// about bytes, not about racing a live server mid-scrape.
+	stop()
+
+	h := service.NewAdminHandler(service.AdminConfig{Metrics: m, Registry: srv.Registry()})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics?format=json = %d", rec.Code)
+	}
+	want, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Body.String() != string(want) {
+		t.Errorf("?format=json is not byte-compatible with the legacy snapshot:\n got %s\nwant %s",
+			rec.Body.String(), want)
+	}
+
+	var legacy map[string]uint64
+	if err := json.Unmarshal(rec.Body.Bytes(), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy["observations_ingested_total"] != 5 || legacy["rounds_run_total"] == 0 {
+		t.Errorf("legacy counters missing activity: %v", legacy)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for key, v := range legacy {
+		if v == 0 {
+			continue
+		}
+		if want := "voiceprintd_" + key; !containsLine(body, want, v) {
+			t.Errorf("Prometheus exposition missing %s %d", want, v)
+		}
+	}
+}
+
+// containsLine reports whether the exposition has an exact "name value"
+// sample line (prefix matching alone would let e.g. rounds_run_total
+// shadow rounds_run_total_something).
+func containsLine(body, name string, v uint64) bool {
+	for _, line := range strings.Split(body, "\n") {
+		if line == name+" "+strconv.FormatUint(v, 10) {
+			return true
+		}
+	}
+	return false
+}

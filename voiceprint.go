@@ -88,6 +88,35 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 	return core.New(cfg)
 }
 
+// MonitorConfig configures a Monitor.
+type MonitorConfig = core.MonitorConfig
+
+// Monitor is the streaming layer above the Detector: feed it timestamped
+// RSSI observations as they arrive and ask for detection rounds over the
+// trailing observation window. It buffers per-identity series, evicts
+// silent identities, estimates density from the identities in view
+// (Equation 9), and runs multi-period confirmation across rounds — the
+// online counterpart of driving a Detector by hand.
+type Monitor = core.Monitor
+
+// Result is one streaming detection round's outcome, including the
+// window it evaluated and the post-round confirmation set.
+type Result = core.Result
+
+// NewMonitor builds a streaming Monitor:
+//
+//	mon, _ := voiceprint.NewMonitor(voiceprint.MonitorConfig{
+//		Detector: voiceprint.DefaultDetectorConfig(boundary),
+//	})
+//	for _, o := range beacons {
+//		mon.Observe(o.Sender, o.T, o.RSSI) // as they arrive
+//	}
+//	res, _ := mon.Detect() // round over the trailing window
+//	for id := range res.Confirmed { ... }
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	return core.NewMonitor(cfg)
+}
+
 // EstimateDensity is the paper's Equation 9: traffic density in
 // vehicles/km from the count of legitimate identities heard and the
 // maximum transmission range in meters.
