@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test vet voiceprintvet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Build the repo's invariant multichecker (see DESIGN.md §8).
+voiceprintvet:
+	$(GO) build -o bin/voiceprintvet ./cmd/voiceprintvet
+
+# Run standard vet plus the voiceprintvet analyzer suite over every
+# package — the same gate CI blocks on.
+vet: voiceprintvet
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/voiceprintvet ./...

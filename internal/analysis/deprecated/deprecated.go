@@ -1,0 +1,102 @@
+// Package deprecated forbids the repository's own packages from calling
+// its deprecated compatibility shims. The shims survive for external
+// callers of released APIs; internally every call site must be on the
+// replacement, or the deprecation can never be retired. Test files are
+// exempt — compatibility shims need coverage until they are deleted.
+package deprecated
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"voiceprint/internal/analysis/vet"
+)
+
+// entry names one deprecated object and its replacement.
+type entry struct {
+	pkg  string // declaring package path
+	recv string // receiver/struct type name; "" for package-level funcs
+	name string
+	use  string // suggested replacement
+}
+
+// table lists the deprecated internal APIs. Extend it when deprecating;
+// the declaring package itself is always exempt (it implements the
+// shim).
+var table = []entry{
+	{
+		pkg: "voiceprint/internal/service", recv: "", name: "AdminHandler",
+		use: "NewAdminHandler with an AdminConfig",
+	},
+	{
+		pkg: "voiceprint/internal/service", recv: "Config", name: "Logf",
+		use: "Config.Logger (log/slog)",
+	},
+	{
+		pkg: "voiceprint/internal/core", recv: "Monitor", name: "ObserveClamped",
+		use: "MonitorConfig.ReorderTolerance with Observe",
+	},
+}
+
+// Analyzer is the deprecated-internal checker.
+var Analyzer = &vet.Analyzer{
+	Name: "deprecated",
+	Doc: "forbid internal packages from using our own deprecated APIs\n\n" +
+		"Logf, ObserveClamped and AdminHandler survive only as compatibility " +
+		"shims for external callers; internal code must use the replacements.",
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath == "voiceprint" || strings.HasPrefix(pkgPath, "voiceprint/")
+	},
+	Run: run,
+}
+
+func run(pass *vet.Pass) error {
+	self := pass.Pkg.Path()
+	vet.WalkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() == self {
+			return true
+		}
+		for _, e := range table {
+			if obj.Name() != e.name || obj.Pkg().Path() != e.pkg {
+				continue
+			}
+			if matches(obj, e) {
+				pass.Reportf(id.Pos(), "%s is deprecated for internal use: use %s", qualified(e), e.use)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func matches(obj types.Object, e entry) bool {
+	switch obj := obj.(type) {
+	case *types.Func:
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			return false
+		}
+		if e.recv == "" {
+			return sig.Recv() == nil
+		}
+		return sig.Recv() != nil && vet.IsNamed(sig.Recv().Type(), e.pkg, e.recv)
+	case *types.Var:
+		// Struct field (e.g. Config.Logf), referenced by selection or as
+		// a composite-literal key.
+		return e.recv != "" && obj.IsField()
+	}
+	return false
+}
+
+func qualified(e entry) string {
+	if e.recv == "" {
+		return e.pkg + "." + e.name
+	}
+	return e.recv + "." + e.name
+}

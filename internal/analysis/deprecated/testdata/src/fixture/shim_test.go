@@ -1,0 +1,13 @@
+// A _test.go file may exercise the shims: deprecations need coverage
+// until they are deleted, so the driver drops diagnostics in test files.
+package fixture
+
+import (
+	"time"
+
+	"voiceprint/internal/core"
+)
+
+func shimCoverage(m *core.Monitor) error {
+	return m.ObserveClamped(1, 0, -70, time.Second)
+}

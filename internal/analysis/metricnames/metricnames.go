@@ -1,0 +1,172 @@
+// Package metricnames cross-checks the telemetry surface against its
+// golden exposition fixture. Every counter/gauge/histogram name
+// registered on an internal/obs Registry must be a compile-time string
+// constant that appears as a metric family in the package's
+// testdata/metrics_golden.prom, and every family pinned in the golden
+// must still be registered — so a renamed, added or deleted instrument
+// cannot drift past the dashboards and the testkit's conservation
+// accounting silently.
+package metricnames
+
+import (
+	"bufio"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"voiceprint/internal/analysis/vet"
+)
+
+const obsPkg = "voiceprint/internal/obs"
+
+// goldenRel is where the golden exposition fixture lives, relative to
+// the registering package's directory.
+const goldenRel = "testdata/metrics_golden.prom"
+
+var registerMethods = map[string]bool{
+	"Counter":     true,
+	"CounterFunc": true,
+	"Gauge":       true,
+	"GaugeFunc":   true,
+	"Histogram":   true,
+}
+
+// Analyzer is the telemetry-drift checker.
+var Analyzer = &vet.Analyzer{
+	Name: "metricnames",
+	Doc: "cross-check obs.Registry metric names against metrics_golden.prom\n\n" +
+		"Registered names must be constant strings pinned (with their namespace " +
+		"prefix) as families in the package's testdata/metrics_golden.prom, and " +
+		"vice versa; regenerate the golden with `go test ./internal/service -run " +
+		"Golden -update` after a deliberate telemetry change.",
+	Run: run,
+}
+
+type registration struct {
+	name ast.Expr // the name argument
+	call *ast.CallExpr
+}
+
+func run(pass *vet.Pass) error {
+	var (
+		prefixes  []string
+		prefixPos *ast.CallExpr
+		regs      []registration
+	)
+	vet.WalkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := vet.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkg {
+			return true
+		}
+		sig := fn.Type().(*types.Signature)
+		switch {
+		case fn.Name() == "NewRegistry" && sig.Recv() == nil:
+			if len(call.Args) == 1 {
+				if p, ok := constString(pass.TypesInfo, call.Args[0]); ok {
+					prefixes = append(prefixes, p)
+					if prefixPos == nil {
+						prefixPos = call
+					}
+				} else {
+					pass.Reportf(call.Args[0].Pos(), "obs registry namespace must be a compile-time string constant")
+				}
+			}
+		case registerMethods[fn.Name()] && sig.Recv() != nil && vet.IsNamed(sig.Recv().Type(), obsPkg, "Registry"):
+			if len(call.Args) > 0 {
+				regs = append(regs, registration{name: call.Args[0], call: call})
+			}
+		}
+		return true
+	})
+	if len(regs) == 0 {
+		return nil
+	}
+
+	// Locate the golden fixture next to the first registration site.
+	dir := filepath.Dir(pass.Fset.Position(regs[0].call.Pos()).Filename)
+	goldenPath := filepath.Join(dir, goldenRel)
+	families, err := goldenFamilies(goldenPath)
+	if os.IsNotExist(err) {
+		pass.Reportf(regs[0].call.Pos(), "package registers obs metrics but has no %s to pin them: add a golden exposition fixture", goldenRel)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+
+	registered := make(map[string]bool)
+	for _, reg := range regs {
+		name, ok := constString(pass.TypesInfo, reg.name)
+		if !ok {
+			pass.Reportf(reg.name.Pos(), "metric name must be a compile-time string constant so the golden cross-check can see it")
+			continue
+		}
+		matched := false
+		for _, p := range prefixes {
+			full := p + "_" + name
+			registered[full] = true
+			if families[full] {
+				matched = true
+			}
+		}
+		if len(prefixes) == 0 {
+			registered[name] = true
+			matched = families[name]
+		}
+		if !matched {
+			pass.Reportf(reg.name.Pos(), "metric %q is not pinned in %s: regenerate the golden (go test -run Golden -update) or drop the instrument", name, goldenRel)
+		}
+	}
+
+	var missing []string
+	for fam := range families {
+		if !registered[fam] {
+			missing = append(missing, fam)
+		}
+	}
+	sort.Strings(missing)
+	for _, fam := range missing {
+		at := regs[0].call.Pos()
+		if prefixPos != nil {
+			at = prefixPos.Pos()
+		}
+		pass.Reportf(at, "golden family %q (%s) is no longer registered: telemetry consumers still expect it", fam, goldenRel)
+	}
+	return nil
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// goldenFamilies parses the metric family names out of the fixture's
+// `# TYPE <name> <kind>` header lines.
+func goldenFamilies(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fams := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			fams[fields[2]] = true
+		}
+	}
+	return fams, sc.Err()
+}

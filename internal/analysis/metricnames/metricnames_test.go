@@ -1,0 +1,16 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"voiceprint/internal/analysis/metricnames"
+	"voiceprint/internal/analysis/vet/vettest"
+)
+
+func TestGoldenDrift(t *testing.T) {
+	vettest.Run(t, metricnames.Analyzer, "testdata/src/drift", "voiceprint/internal/fixture")
+}
+
+func TestMissingGolden(t *testing.T) {
+	vettest.Run(t, metricnames.Analyzer, "testdata/src/nogolden", "voiceprint/internal/fixture")
+}

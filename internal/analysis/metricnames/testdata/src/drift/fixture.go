@@ -1,0 +1,19 @@
+// Fixture for the metricnames analyzer: the golden next to this file
+// pins fixturetest_pinned_total (registered — fine) and
+// fixturetest_gone_total (no longer registered — reported at the
+// NewRegistry call), while unpinned_total is registered but absent from
+// the golden.
+package fixture
+
+import "voiceprint/internal/obs"
+
+func build(c *obs.Counter) *obs.Registry {
+	r := obs.NewRegistry("fixturetest") // want "golden family \"fixturetest_gone_total\" \\(testdata/metrics_golden.prom\\) is no longer registered"
+	r.Counter("pinned_total", "Present in the golden.", c)
+	r.Counter("unpinned_total", "Absent from the golden.", c) // want "metric \"unpinned_total\" is not pinned"
+	return r
+}
+
+func dynamicName(r *obs.Registry, name string, c *obs.Counter) {
+	r.Counter(name, "Non-constant name.", c) // want "metric name must be a compile-time string constant"
+}

@@ -1,0 +1,11 @@
+// Fixture for the metricnames analyzer: registering instruments with no
+// golden exposition fixture next to the package is itself a finding.
+package fixture
+
+import "voiceprint/internal/obs"
+
+func build(c *obs.Counter) *obs.Registry {
+	r := obs.NewRegistry("nogolden")
+	r.Counter("orphan_total", "No golden pins this.", c) // want "registers obs metrics but has no testdata/metrics_golden.prom"
+	return r
+}

@@ -1,0 +1,22 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"voiceprint/internal/analysis/nondeterminism"
+	"voiceprint/internal/analysis/vet/vettest"
+)
+
+func TestStrictPackage(t *testing.T) {
+	vettest.Run(t, nondeterminism.Analyzer, "testdata/src/strict", "voiceprint/internal/stats")
+}
+
+func TestSchedulingPackage(t *testing.T) {
+	vettest.Run(t, nondeterminism.Analyzer, "testdata/src/scheduler", "voiceprint/internal/service")
+}
+
+func TestOutOfScopePackage(t *testing.T) {
+	// The same violation-laden fixture must be clean when it is not a
+	// detection-path package: AppliesTo scopes the invariant.
+	vettest.RunExpectClean(t, nondeterminism.Analyzer, "testdata/src/strict", "voiceprint/internal/trace")
+}

@@ -1,0 +1,34 @@
+// Fixture checked as a scheduling package: wall time is legitimate I/O
+// there, but global randomness and map-order leaks still are not.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func deadline() time.Time {
+	return time.Now().Add(time.Second) // wall time is I/O in the scheduler
+}
+
+func jitter() time.Duration {
+	return time.Duration(rand.Int63n(1000)) // want "math/rand.Int63n draws from the global generator"
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order feeds out"
+		out = append(out, k)
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,119 @@
+// Package nonfinite enforces NaN/Inf safety on the detection path. A
+// single non-finite RSSI admitted into a series poisons every mean,
+// Z-score and DTW distance computed over it, and float equality
+// comparisons silently misbehave on NaN (x == x is false, x != 0 is
+// true), so:
+//
+//   - `==`/`!=` between floating-point operands is forbidden in the
+//     detection-math packages — use an epsilon, a precomputed boolean,
+//     or math.IsNaN/math.Signbit;
+//   - float-keyed maps are forbidden there (NaN keys are unreachable,
+//     +0/-0 collide);
+//   - RSSI may enter a timeseries.Series from outside the validated
+//     core ingest path only through finite-checked entry points
+//     (Monitor.Observe or Series.AppendChecked), never raw Append.
+package nonfinite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"voiceprint/internal/analysis/vet"
+)
+
+const timeseriesPkg = "voiceprint/internal/timeseries"
+
+// floatEqPkgs are the detection-math packages where float equality and
+// float map keys are forbidden outright.
+var floatEqPkgs = []string{
+	"voiceprint/internal/core",
+	"voiceprint/internal/dtw",
+	"voiceprint/internal/stats",
+	"voiceprint/internal/timeseries",
+}
+
+// appendExempt may call Series.Append directly: timeseries owns the
+// container, and core.Monitor validates finiteness before appending.
+var appendExempt = []string{
+	timeseriesPkg,
+	"voiceprint/internal/core",
+}
+
+// Analyzer is the non-finite-safety checker.
+var Analyzer = &vet.Analyzer{
+	Name: "nonfinite",
+	Doc: "forbid NaN-unsafe float comparisons and unchecked RSSI ingest\n\n" +
+		"Float ==/!= and float map keys are flagged in detection-math packages; " +
+		"call sites outside timeseries/core feeding RSSI into a Series must use " +
+		"a finite-checked entry point (Monitor.Observe, Series.AppendChecked).",
+	Run: run,
+}
+
+func run(pass *vet.Pass) error {
+	strict := vet.PathIn(pass.Pkg.Path(), floatEqPkgs...)
+	vet.WalkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if strict {
+				checkFloatEq(pass, n)
+			}
+		case *ast.MapType:
+			if strict {
+				checkMapKey(pass, n)
+			}
+		case *ast.CallExpr:
+			checkSeriesAppend(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+func checkFloatEq(pass *vet.Pass, be *ast.BinaryExpr) {
+	if op := be.Op.String(); op != "==" && op != "!=" {
+		return
+	}
+	if !isFloat(pass.TypesInfo, be.X) && !isFloat(pass.TypesInfo, be.Y) {
+		return
+	}
+	// Two constant operands fold at compile time; NaN cannot reach them.
+	if isConst(pass.TypesInfo, be.X) && isConst(pass.TypesInfo, be.Y) {
+		return
+	}
+	pass.Reportf(be.OpPos, "floating-point %s is NaN-unsafe on the detection path: use an epsilon, a precomputed flag, or math.IsNaN", be.Op)
+}
+
+func checkMapKey(pass *vet.Pass, mt *ast.MapType) {
+	if isFloat(pass.TypesInfo, mt.Key) {
+		pass.Reportf(mt.Key.Pos(), "float-keyed map on the detection path: NaN keys are unreachable and ±0 collide; key by an integer quantization instead")
+	}
+}
+
+func checkSeriesAppend(pass *vet.Pass, call *ast.CallExpr) {
+	if vet.PathIn(pass.Pkg.Path(), appendExempt...) {
+		return
+	}
+	fn := vet.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Append" || fn.Pkg() == nil || fn.Pkg().Path() != timeseriesPkg {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !vet.IsNamed(sig.Recv().Type(), timeseriesPkg, "Series") {
+		return
+	}
+	pass.Reportf(call.Pos(), "Series.Append is not finite-checked: route RSSI through Monitor.Observe or Series.AppendChecked so NaN/Inf samples are rejected at the boundary")
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := vet.TypeOf(info, e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,26 @@
+// Fixture for the nonfinite analyzer's ingest rule, checked as a
+// package outside the validated core/timeseries ingest path.
+package fixture
+
+import (
+	"time"
+
+	"voiceprint/internal/timeseries"
+)
+
+func rawAppend(s *timeseries.Series) error {
+	return s.Append(time.Second, -70) // want "Series.Append is not finite-checked"
+}
+
+func checkedAppendOK(s *timeseries.Series) error {
+	return s.AppendChecked(time.Second, -70)
+}
+
+// A local type with its own Append must not trip the rule.
+type bag struct{ xs []float64 }
+
+func (b *bag) Append(x float64) { b.xs = append(b.xs, x) }
+
+func localAppendOK(b *bag) {
+	b.Append(-70)
+}

@@ -1,0 +1,48 @@
+// Fixture for the nonfinite analyzer checked as a detection-math
+// package, where float equality and float map keys are forbidden.
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+func rawEq(a, b float64) bool {
+	return a == b // want "floating-point == is NaN-unsafe"
+}
+
+func rawNeq(a float64) bool {
+	return a != 0 // want "floating-point != is NaN-unsafe"
+}
+
+func epsilonOK(a, b float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+func nanCheckOK(a float64) bool {
+	return math.IsNaN(a)
+}
+
+func orderedOK(sigma float64) bool {
+	return sigma <= 0
+}
+
+func intEqOK(a, b int) bool {
+	return a == b
+}
+
+func constFoldOK() bool {
+	const half = 0.5
+	return half == 0.5 // both operands constant-fold; NaN cannot reach them
+}
+
+func suppressedEq(a, b float64) bool {
+	return a == b //voiceprintvet:ignore nonfinite fixture exercises the suppression path
+}
+
+type histogram struct {
+	buckets map[float64]int // want "float-keyed map on the detection path"
+}
+
+func quantizedOK() map[int64]int {
+	return nil
+}

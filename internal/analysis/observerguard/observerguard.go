@@ -1,0 +1,87 @@
+// Package observerguard pins the zero-alloc observer contract: a nil
+// core.Config.Observer must cost nothing on the detection hot path.
+// That holds only while every ObserveStage invocation on a
+// core.Observer-typed value sits directly behind an inlined `x != nil`
+// guard on that same expression — never wrapped in a helper closure
+// (which escapes and allocates) and never called unconditionally (which
+// panics on the nil default). The alloc-budget benchmark catches a
+// regression after the fact; this analyzer catches it in review.
+package observerguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"voiceprint/internal/analysis/vet"
+)
+
+const corePkg = "voiceprint/internal/core"
+
+// Analyzer is the observer nil-guard checker.
+var Analyzer = &vet.Analyzer{
+	Name: "observerguard",
+	Doc: "require every core.Observer call to sit behind an inlined nil guard\n\n" +
+		"`obs.ObserveStage(...)` must appear inside `if obs != nil { ... }` on the " +
+		"same expression; taking the method value is forbidden (it allocates).",
+	Run: run,
+}
+
+func run(pass *vet.Pass) error {
+	vet.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		se, ok := n.(*ast.SelectorExpr)
+		if !ok || se.Sel.Name != "ObserveStage" {
+			return true
+		}
+		// Only invocations through the interface matter: concrete
+		// implementations (e.g. the service metrics adapter) are called
+		// via the guarded interface value.
+		t := vet.TypeOf(pass.TypesInfo, se.X)
+		if t == nil || !vet.IsNamed(t, corePkg, "Observer") {
+			return true
+		}
+		if !isCallee(stack, se) {
+			pass.Reportf(se.Pos(), "taking ObserveStage as a method value allocates on the hot path: call it directly behind a nil guard")
+			return true
+		}
+		if !guarded(pass.TypesInfo, stack, se) {
+			pass.Reportf(se.Pos(), "core.Observer call must sit inside an inlined `%s != nil` guard: the nil observer default is the zero-cost path", exprString(se.X))
+		}
+		return true
+	})
+	return nil
+}
+
+// isCallee reports whether se is the function operand of a call.
+func isCallee(stack []ast.Node, se *ast.SelectorExpr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	return ok && vet.Unparen(call.Fun) == ast.Expr(se)
+}
+
+// guarded reports whether an ancestor if-statement nil-checks the very
+// expression the method is invoked on.
+func guarded(info *types.Info, stack []ast.Node, se *ast.SelectorExpr) bool {
+	for _, anc := range stack {
+		ifs, ok := anc.(*ast.IfStmt)
+		if !ok || !vet.InBody(ifs, se) {
+			continue
+		}
+		checked := vet.NilCheckedExpr(info, ifs.Cond)
+		if checked != nil && vet.SameExpr(info, checked, se.X) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch e := vet.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "observer"
+}

@@ -1,0 +1,12 @@
+package observerguard_test
+
+import (
+	"testing"
+
+	"voiceprint/internal/analysis/observerguard"
+	"voiceprint/internal/analysis/vet/vettest"
+)
+
+func TestObserverGuard(t *testing.T) {
+	vettest.Run(t, observerguard.Analyzer, "testdata/src/fixture", "voiceprint/internal/fixture")
+}

@@ -1,0 +1,63 @@
+// Fixture for the observerguard analyzer: every ObserveStage invocation
+// on a core.Observer must sit directly behind a nil guard on the very
+// same expression, and taking the method value is forbidden.
+package fixture
+
+import (
+	"time"
+
+	"voiceprint/internal/core"
+)
+
+func unguarded(obs core.Observer, d time.Duration) {
+	obs.ObserveStage(core.StageCollect, d) // want "must sit inside an inlined `obs != nil` guard"
+}
+
+func guardedOK(obs core.Observer, d time.Duration) {
+	if obs != nil {
+		obs.ObserveStage(core.StageCollect, d)
+	}
+}
+
+func guardedElseBranch(obs core.Observer, d time.Duration) {
+	if obs == nil {
+		return
+	}
+	obs.ObserveStage(core.StageCollect, d) // want "must sit inside an inlined `obs != nil` guard"
+}
+
+func wrongGuard(a, b core.Observer, d time.Duration) {
+	if a != nil {
+		b.ObserveStage(core.StageCollect, d) // want "must sit inside an inlined `b != nil` guard"
+	}
+}
+
+func methodValue(obs core.Observer) func(core.Stage, time.Duration) {
+	if obs != nil {
+		return obs.ObserveStage // want "method value allocates"
+	}
+	return nil
+}
+
+type holder struct{ obs core.Observer }
+
+func (h *holder) fieldGuardedOK(d time.Duration) {
+	if h.obs != nil {
+		h.obs.ObserveStage(core.StageWindow, d)
+	}
+}
+
+func (h *holder) fieldUnguarded(d time.Duration) {
+	h.obs.ObserveStage(core.StageWindow, d) // want "must sit inside an inlined `h.obs != nil` guard"
+}
+
+// A concrete type's own ObserveStage is not the interface dispatch the
+// contract is about.
+type concrete struct{}
+
+func (concrete) ObserveStage(core.Stage, time.Duration) {}
+
+func concreteOK(d time.Duration) {
+	var c concrete
+	c.ObserveStage(core.StageCollect, d)
+}

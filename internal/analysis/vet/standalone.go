@@ -1,0 +1,169 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadPackages resolves the patterns with `go list -export -deps`,
+// parses and type-checks every matched package of the surrounding
+// module from source (imports are satisfied from compiler export data,
+// so no package is type-checked twice), and returns the units in
+// deterministic order. It shells out to the go command but needs no
+// network: the module is dependency-free.
+func LoadPackages(patterns []string) ([]*Unit, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+
+	exportFiles := make(map[string]string) // import path -> export data
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exportFiles)
+	var units []*Unit
+	for _, p := range targets {
+		u, err := checkPackage(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+func checkPackage(fset *token.FileSet, imp *exportImporter, p *listPackage) (*Unit, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if mapped, ok := p.ImportMap[importPath]; ok {
+				importPath = mapped
+			}
+			return imp.Import(importPath)
+		}),
+		Sizes: types.SizesFor("gc", build.Default.GOARCH),
+	}
+	info := NewInfo()
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+	}
+	return &Unit{Path: p.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// NewDepsImporter resolves the given import paths with `go list -export
+// -deps` and returns an importer satisfying them (and everything they
+// transitively import) from compiler export data. The fixture harness
+// uses it to typecheck analyzer fixtures whose imports are real module
+// and standard-library packages.
+func NewDepsImporter(fset *token.FileSet, paths []string) (types.Importer, error) {
+	if len(paths) == 0 {
+		return newExportImporter(fset, nil), nil
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	exportFiles := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+	return newExportImporter(fset, exportFiles), nil
+}
+
+// exportImporter satisfies imports from the compiler export data files
+// `go list -export` wrote into the build cache.
+type exportImporter struct {
+	gc types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exportFiles map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.gc.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,217 @@
+package vet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// unitConfig mirrors the JSON compilation-unit description `go vet`
+// hands to a -vettool (see cmd/go/internal/work's vetConfig and
+// x/tools' unitchecker.Config).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of the voiceprintvet multichecker. It speaks
+// the `go vet -vettool` command-line protocol:
+//
+//	-V=full    print a version string keyed to the binary's content
+//	-flags     describe accepted flags in JSON
+//	unit.cfg   analyze one compilation unit described by a config file
+//
+// and, for direct invocation, a standalone mode:
+//
+//	voiceprintvet [packages]   load via `go list -export` and analyze
+//	voiceprintvet help         list the analyzers
+//
+// It exits non-zero when any diagnostic is reported.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	versionFlag := flag.String("V", "", "print version and exit (use -V=full for a content-keyed version)")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [packages] | %s unit.cfg | %s help\n", progname, progname, progname)
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		// `go vet` keys its build cache on this line; hashing the
+		// executable makes rebuilt analyzers invalidate cached results.
+		fmt.Printf("%s version devel buildID=%s\n", progname, executableHash())
+		return
+	}
+	if *printflags {
+		// No analyzer-specific flags; an empty JSON list tells go vet
+		// that no extra flags are legitimate.
+		fmt.Print("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "help" {
+		fmt.Printf("%s enforces the voiceprint repository invariants:\n\n", progname)
+		for _, a := range analyzers {
+			fmt.Printf("  %s: %s\n", a.Name, strings.Split(a.Doc, "\n")[0])
+		}
+		fmt.Printf("\nSuppress a finding with `//voiceprintvet:ignore <analyzer> <reason>`\non the offending line or the line above it.\n")
+		return
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], analyzers)
+		return
+	}
+
+	// Standalone mode.
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	units, err := LoadPackages(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	exit := 0
+	for _, u := range units {
+		diags, err := Run(u, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", u.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// runUnit analyzes a single `go vet` compilation unit and exits.
+func runUnit(configFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatalf("cannot decode JSON config file %s: %v", configFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		fatalf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// The vetx facts file must exist even though voiceprintvet keeps no
+	// cross-package facts: go vet caches and feeds it to dependents.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("voiceprintvet\n"), 0o666); err != nil {
+			fatalf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0) // the compiler will report it
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fatalf("%v", err)
+	}
+
+	u := &Unit{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	diags, err := Run(u, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	exit := 0
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "voiceprintvet: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// executableHash content-addresses the running binary so `go vet`'s
+// action cache never serves results from a stale analyzer build.
+func executableHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

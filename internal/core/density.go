@@ -33,8 +33,8 @@ type DensityEstimator struct {
 // NewDensityEstimator builds an estimator for a radio with the given
 // maximum transmission range in meters.
 func NewDensityEstimator(maxRangeM float64) (*DensityEstimator, error) {
-	if maxRangeM <= 0 {
-		return nil, errors.New("core: max transmission range must be positive")
+	if nonFinite(maxRangeM) || maxRangeM <= 0 {
+		return nil, errors.New("core: max transmission range must be positive and finite")
 	}
 	return &DensityEstimator{
 		maxRangeM:  maxRangeM,

@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"slices"
 	"sync"
@@ -138,14 +139,40 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return errors.New("core: Workers must be non-negative")
 	}
+	// Non-finite thresholds turn every later comparison against them
+	// into a silent no-op (x > NaN is always false), which here would
+	// disable the raw-distance caps and convict every closest normal
+	// pair; reject them up front instead.
+	if nonFinite(c.MinMedianRSSIDBm) {
+		return errors.New("core: MinMedianRSSIDBm must be finite")
+	}
+	if nonFinite(c.AbsoluteRawCap) {
+		return errors.New("core: AbsoluteRawCap must be finite")
+	}
+	if nonFinite(c.AdaptiveCapKappa) {
+		return errors.New("core: AdaptiveCapKappa must be finite")
+	}
 	return nil
 }
+
+// nonFinite reports whether f is NaN or ±Inf.
+func nonFinite(f float64) bool { return math.IsNaN(f) || math.IsInf(f, 0) }
+
+// zeroSentinel reports whether a config float carries its "default /
+// disabled" zero value. Unlike a raw `f == 0` it is explicit about
+// tolerance and is false for NaN, so a non-finite value (rejected by
+// Validate) can never masquerade as the sentinel.
+func zeroSentinel(f float64) bool { return math.Abs(f) < 1e-12 }
 
 // Detector runs Voiceprint detection rounds. It is stateless across
 // rounds; use Confirmer for the paper's multi-period confirmation
 // suggestion.
 type Detector struct {
 	cfg Config
+	// medianFloor is MinMedianRSSIDBm != sentinel, precomputed so the
+	// per-identity collection loop branches on a bool instead of
+	// re-deciding a float sentinel on the hot path.
+	medianFloor bool
 }
 
 // New builds a Detector.
@@ -162,10 +189,10 @@ func New(cfg Config) (*Detector, error) {
 	if cfg.BandRadius == 0 {
 		cfg.BandRadius = 20
 	}
-	if cfg.AdaptiveCapKappa == 0 {
+	if zeroSentinel(cfg.AdaptiveCapKappa) {
 		cfg.AdaptiveCapKappa = 1.5
 	}
-	return &Detector{cfg: cfg}, nil
+	return &Detector{cfg: cfg, medianFloor: !zeroSentinel(cfg.MinMedianRSSIDBm)}, nil
 }
 
 // PairDistance is one pairwise comparison result.
@@ -261,7 +288,7 @@ func (d *Detector) Detect(series map[vanet.NodeID]*timeseries.Series, density fl
 			res.Skipped++
 			continue
 		}
-		if d.cfg.MinMedianRSSIDBm != 0 {
+		if d.medianFloor {
 			sc.med = s.AppendValues(sc.med[:0])
 			med, err := stats.MedianInPlace(sc.med)
 			if err != nil || med < d.cfg.MinMedianRSSIDBm {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 	"time"
 
@@ -86,7 +87,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.MaxRangeM == 0 {
+	if zeroSentinel(cfg.MaxRangeM) {
 		cfg.MaxRangeM = 400
 	}
 	est, err := NewDensityEstimator(cfg.MaxRangeM)
@@ -268,6 +269,9 @@ func (m *Monitor) detectAtLocked(end time.Duration) (*Result, error) {
 		m.input[id] = v
 		m.heard = append(m.heard, id)
 	}
+	// The range above walks a map; sort so everything derived from the
+	// heard list is independent of map iteration order.
+	slices.Sort(m.heard)
 	density := m.estimator.Estimate(m.heard)
 	if m.obsv != nil {
 		m.obsv.ObserveStage(StageWindow, time.Since(windowStart))

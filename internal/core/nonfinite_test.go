@@ -32,3 +32,58 @@ func TestObserveRejectsNonFiniteRSSI(t *testing.T) {
 		}
 	}
 }
+
+// A non-finite detection threshold is as poisonous as a non-finite
+// sample. The worst case was AdaptiveCapKappa = NaN: it slipped past the
+// old `== 0` default sentinel, made every pair's NoiseCap NaN, and since
+// `Raw > NaN` is always false the cap never vetoed a flag — the
+// Equation 8 min-max guarantees some pair normalizes to 0, so every
+// clean round convicted its closest normal pair. A NaN MinMedianRSSIDBm
+// silently disabled the median floor the same way. Validate now rejects
+// non-finite thresholds outright.
+func TestConfigRejectsNonFiniteThresholds(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		cases := map[string]Config{
+			"MinMedianRSSIDBm": {MinMedianRSSIDBm: bad},
+			"AbsoluteRawCap":   {AbsoluteRawCap: bad},
+			"AdaptiveCapKappa": {AdaptiveCapKappa: bad},
+		}
+		for field, cfg := range cases {
+			if _, err := New(cfg); err == nil {
+				t.Errorf("New with %s = %v should error", field, bad)
+			}
+		}
+		if _, err := NewDensityEstimator(bad); err == nil {
+			t.Errorf("NewDensityEstimator(%v) should error", bad)
+		}
+		mc := MonitorConfig{Detector: DefaultConfig(testBoundary()), MaxRangeM: bad}
+		if _, err := NewMonitor(mc); err == nil {
+			t.Errorf("NewMonitor with MaxRangeM = %v should error", bad)
+		}
+	}
+}
+
+// The zero values must keep meaning "default": the sentinel restructure
+// (exact-zero test instead of raw float equality) must not change the
+// documented semantics.
+func TestZeroThresholdsKeepDefaults(t *testing.T) {
+	det, err := New(Config{Boundary: testBoundary()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := det.Config().AdaptiveCapKappa; got != 1.5 {
+		t.Errorf("zero AdaptiveCapKappa defaulted to %v, want 1.5", got)
+	}
+	if det.medianFloor {
+		t.Error("zero MinMedianRSSIDBm should disable the median floor")
+	}
+	cfg := Config{Boundary: testBoundary()}
+	cfg.AdaptiveCapKappa = -1 // negative disables, must survive New
+	det, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := det.Config().AdaptiveCapKappa; got != -1 {
+		t.Errorf("negative AdaptiveCapKappa rewritten to %v", got)
+	}
+}

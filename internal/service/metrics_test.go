@@ -58,8 +58,19 @@ func fixedMetrics() *Metrics {
 //
 //	go test ./internal/service/ -run TestPrometheusExpositionGolden -update
 func TestPrometheusExpositionGolden(t *testing.T) {
+	// A minimal registry with one receiver tracking one identity makes
+	// the registry-derived identity gauges deterministic, so the golden
+	// pins the complete telemetry surface (the metricnames analyzer
+	// cross-checks every registered family against this fixture).
+	reg, err := NewRegistry(RegistryConfig{Monitor: testMonitorConfig()}, &Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Observe(Observation{Recv: 1, Sender: 2, TMs: 0, RSSI: -70}); err != nil {
+		t.Fatal(err)
+	}
 	var sb strings.Builder
-	if err := fixedMetrics().Instruments(nil).WritePrometheus(&sb); err != nil {
+	if err := fixedMetrics().Instruments(reg).WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
 	got := sb.String()

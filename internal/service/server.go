@@ -252,6 +252,7 @@ func (s *Server) shutdown() *time.Timer {
 	s.mu.Lock()
 	s.closed = true
 	conns := make([]*serverConn, 0, len(s.conns))
+	//voiceprintvet:ignore nondeterminism teardown order of the connection set is immaterial; each conn is closed independently
 	for sc := range s.conns {
 		conns = append(conns, sc)
 	}

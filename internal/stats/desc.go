@@ -146,7 +146,9 @@ func Skewness(xs []float64) float64 {
 	}
 	mu := Mean(xs)
 	sigma := StdDev(xs)
-	if sigma == 0 {
+	// StdDev is non-negative, so <= is an exact zero test that stays
+	// false (and lets NaN propagate) on non-finite input.
+	if sigma <= 0 {
 		return 0
 	}
 	var sum float64
@@ -166,7 +168,7 @@ func Kurtosis(xs []float64) float64 {
 	}
 	mu := Mean(xs)
 	sigma := StdDev(xs)
-	if sigma == 0 {
+	if sigma <= 0 {
 		return 0
 	}
 	var sum float64

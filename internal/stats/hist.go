@@ -35,7 +35,9 @@ func NewHistogram(xs []float64, nbins int) (*Histogram, error) {
 	if err != nil {
 		return nil, err
 	}
-	if lo == hi {
+	// Not-strictly-less covers the all-identical case exactly and keeps
+	// a NaN range on the degenerate one-bin path instead of a NaN width.
+	if !(lo < hi) {
 		// Degenerate but common for clipped RSSI floors: one bin holds all.
 		h := &Histogram{Lo: lo, Width: 1, Counts: make([]int, nbins), Total: len(xs)}
 		h.Counts[0] = len(xs)

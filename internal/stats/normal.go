@@ -89,7 +89,9 @@ func lowerIncompleteGammaRegularized(a, x float64) float64 {
 	if x < 0 || a <= 0 {
 		return math.NaN()
 	}
-	if x == 0 {
+	// x < 0 already returned, so <= catches exactly x == 0 while a NaN
+	// x falls through and propagates.
+	if x <= 0 {
 		return 0
 	}
 	lg, _ := math.Lgamma(a)

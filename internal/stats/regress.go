@@ -34,7 +34,9 @@ func OLS(xs, ys []float64) (LinearFit, error) {
 		sxx += dx * dx
 		sxy += dx * (ys[i] - my)
 	}
-	if sxx == 0 {
+	// sxx is a sum of squares, so <= is an exact zero-variance test
+	// that is also NaN-safe.
+	if sxx <= 0 {
 		return LinearFit{}, errors.New("stats: OLS degenerate x (zero variance)")
 	}
 	slope := sxy / sxx

@@ -50,7 +50,8 @@ func ChiSquareNormality(xs []float64, nbins int, alpha float64) (TestResult, err
 	}
 	mu := Mean(xs)
 	sigma := StdDev(xs)
-	if sigma == 0 {
+	// StdDev is non-negative; <= is the NaN-safe exact zero test.
+	if sigma <= 0 {
 		// A constant sample is maximally non-normal; reject outright.
 		return TestResult{Statistic: math.Inf(1), PValue: 0, Reject: true}, nil
 	}
@@ -138,8 +139,12 @@ func WelchTTest(xs, ys []float64, alpha float64) (TestResult, error) {
 	}
 	vx := SampleVariance(xs) / float64(len(xs))
 	vy := SampleVariance(ys) / float64(len(ys))
-	if vx+vy == 0 {
-		equal := Mean(xs) == Mean(ys)
+	// Variances are non-negative; <= catches exactly the two-constant
+	// case, and NaN input (NaN variance) falls through to the t statistic.
+	if vx+vy <= 0 {
+		// Both samples are constant, so the means are exact and equality
+		// is the right comparison.
+		equal := Mean(xs) == Mean(ys) //voiceprintvet:ignore nonfinite zero-variance samples have exact finite means
 		if equal {
 			return TestResult{Statistic: 0, PValue: 1, Reject: false}, nil
 		}

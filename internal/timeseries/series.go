@@ -70,6 +70,22 @@ func (s *Series) Append(t time.Duration, rssi float64) error {
 	return nil
 }
 
+// ErrNonFiniteRSSI is returned by AppendChecked for NaN or infinite RSSI.
+var ErrNonFiniteRSSI = errors.New("timeseries: non-finite RSSI")
+
+// AppendChecked is the finite-checked ingest entry point: it rejects NaN
+// and infinite RSSI before appending, so a single bad sample cannot
+// poison every statistic later computed over the series. Boundary code
+// (trace loaders, simulators) must use it — or core.Monitor.Observe,
+// which performs the same validation — rather than raw Append; the
+// nonfinite analyzer in internal/analysis enforces this.
+func (s *Series) AppendChecked(t time.Duration, rssi float64) error {
+	if math.IsNaN(rssi) || math.IsInf(rssi, 0) {
+		return fmt.Errorf("%w: %v at %v", ErrNonFiniteRSSI, rssi, t)
+	}
+	return s.Append(t, rssi)
+}
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.buf) - s.head }
 
@@ -314,7 +330,9 @@ func MinMaxNormalizeInto(dst, xs []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if hi == lo {
+	// Inputs are verified finite above, so not-strictly-less is exactly
+	// the all-identical case without a raw float equality.
+	if !(lo < hi) {
 		for i := range dst {
 			dst[i] = 0
 		}

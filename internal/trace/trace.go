@@ -63,7 +63,9 @@ func ToSeries(records []Record) (map[vanet.NodeID]*timeseries.Series, error) {
 			s = timeseries.New(64)
 			out[r.Sender] = s
 		}
-		if err := s.Append(r.T, r.RSSI); err != nil {
+		// Traces are untrusted input: reject NaN/Inf RSSI here rather
+		// than letting it poison the detection statistics downstream.
+		if err := s.AppendChecked(r.T, r.RSSI); err != nil {
 			return nil, fmt.Errorf("trace: sender %d: %w", r.Sender, err)
 		}
 	}
