@@ -1,0 +1,120 @@
+package voiceprint
+
+// BENCH_pr6.json regeneration: a machine-readable record of the WAL's
+// cost — append throughput per fsync policy and cold-start recovery
+// time over a 100k-record journal. CI runs this once per push (see
+// .github/workflows/ci.yml); regenerate locally with
+//
+//	VOICEPRINT_BENCH_JSON=1 go test -run TestWriteBenchPR6JSON .
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"voiceprint/internal/vanet"
+	"voiceprint/internal/wal"
+)
+
+const recoveryJournalRecords = 100_000
+
+func walBenchAppend(t *testing.T, policy wal.SyncPolicy) benchEntry {
+	t.Helper()
+	l, _, err := wal.Open(wal.Options{Dir: t.TempDir(), Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	i := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			err := l.AppendObservation(vanet.NodeID(1+i%8), vanet.NodeID(100+i%512),
+				time.Duration(i)*time.Millisecond, -60-float64(i%20))
+			if err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	return benchEntry{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
+}
+
+func walBenchRecovery(t *testing.T) (benchEntry, float64) {
+	t.Helper()
+	dir := t.TempDir()
+	l, _, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < recoveryJournalRecords; i++ {
+		err := l.AppendObservation(vanet.NodeID(1+i%8), vanet.NodeID(100+i%512),
+			time.Duration(i)*time.Millisecond, -60-float64(i%20))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			l2, rec, err := wal.Open(wal.Options{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			replayed := 0
+			if err := rec.Replay(func(wal.Record) error { replayed++; return nil }); err != nil {
+				b.Fatal(err)
+			}
+			if replayed != recoveryJournalRecords {
+				b.Fatalf("replayed %d of %d records", replayed, recoveryJournalRecords)
+			}
+			b.StopTimer()
+			// Release the active segment fd; the empty segments successive
+			// Opens leave behind hold no records, so every iteration
+			// replays the same set.
+			l2.Abort()
+			b.StartTimer()
+		}
+	})
+	entry := benchEntry{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
+	recordsPerSec := float64(recoveryJournalRecords) / (float64(max64(entry.NsPerOp, 1)) / 1e9)
+	return entry, recordsPerSec
+}
+
+func TestWriteBenchPR6JSON(t *testing.T) {
+	if os.Getenv("VOICEPRINT_BENCH_JSON") == "" {
+		t.Skip("set VOICEPRINT_BENCH_JSON=1 to regenerate BENCH_pr6.json")
+	}
+	appendEntries := map[string]benchEntry{}
+	for _, policy := range []wal.SyncPolicy{wal.SyncInterval, wal.SyncNone, wal.SyncAlways} {
+		appendEntries[policy.String()] = walBenchAppend(t, policy)
+	}
+	recovery, recordsPerSec := walBenchRecovery(t)
+	doc := struct {
+		Benchmark      string                `json:"benchmark"`
+		AppendByPolicy map[string]benchEntry `json:"append_by_fsync_policy"`
+		RecoveryRecs   int                   `json:"recovery_journal_records"`
+		Recovery       benchEntry            `json:"recovery_open_plus_replay"`
+		RecoveryRate   float64               `json:"recovery_records_per_sec"`
+	}{
+		Benchmark:      "BenchmarkWALAppend / BenchmarkRecovery (internal/wal)",
+		AppendByPolicy: appendEntries,
+		RecoveryRecs:   recoveryJournalRecords,
+		Recovery:       recovery,
+		RecoveryRate:   recordsPerSec,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr6.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_pr6.json: append interval %d ns/op, always %d ns/op; recovery %d records in %.1f ms",
+		appendEntries["interval"].NsPerOp, appendEntries["always"].NsPerOp,
+		recoveryJournalRecords, float64(recovery.NsPerOp)/1e6)
+}

@@ -35,12 +35,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
 	"voiceprint/internal/core"
 	"voiceprint/internal/lda"
 	"voiceprint/internal/service"
+	"voiceprint/internal/wal"
 )
 
 func main() {
@@ -72,15 +75,27 @@ func run() error {
 	drainTimeout := flag.Duration("drain-timeout", 0, "graceful-shutdown flush budget before force-closing connections (0 = default 2s)")
 	replay := flag.String("replay", "", "replay a trace CSV through the ingest path and exit")
 	speed := flag.Float64("speed", 0, "replay speedup vs stream time (0 = as fast as possible)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory for durable detection state (empty disables)")
+	walFsync := flag.String("wal-fsync", "interval", "WAL fsync policy: always, interval (group commit) or none")
+	walFsyncInterval := flag.Duration("wal-fsync-interval", 0, "group-commit fsync period under -wal-fsync interval (0 = default 5ms)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "periodic WAL compaction cadence (0 = default 5m, negative disables)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof and /debug/vars on the admin address")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	ver := buildVersion()
+	if *showVersion {
+		fmt.Printf("voiceprintd %s %s\n", ver, runtime.Version())
+		return nil
+	}
 
 	var lvl slog.Level
 	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
 		return fmt.Errorf("-log-level %q: %w", *logLevel, err)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	logger.Info("voiceprintd: starting", "version", ver, "go", runtime.Version())
 
 	regCfg := service.RegistryConfig{
 		Monitor: core.MonitorConfig{
@@ -119,6 +134,18 @@ func run() error {
 	if *socket != "" {
 		cfg.Network, cfg.Addr = "unix", *socket
 	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			return fmt.Errorf("-wal-fsync: %w", err)
+		}
+		cfg.WAL = &service.WALConfig{
+			Dir:              *walDir,
+			Fsync:            policy,
+			FsyncInterval:    *walFsyncInterval,
+			SnapshotInterval: *snapshotInterval,
+		}
+	}
 	srv, err := service.NewServer(cfg)
 	if err != nil {
 		return err
@@ -127,13 +154,19 @@ func run() error {
 		"network", cfg.Network, "addr", srv.Addr().String(), "period", *period)
 
 	if *admin != "" {
+		adminCfg := service.AdminConfig{
+			Metrics:  srv.Metrics(),
+			Registry: srv.Registry(),
+			Health:   srv.Health,
+			Version:  ver,
+			Pprof:    *pprofFlag,
+		}
+		if *walDir != "" {
+			adminCfg.Snapshot = srv.Snapshot
+		}
 		adminSrv := &http.Server{
-			Addr: *admin,
-			Handler: service.NewAdminHandler(service.AdminConfig{
-				Metrics:  srv.Metrics(),
-				Registry: srv.Registry(),
-				Pprof:    *pprofFlag,
-			}),
+			Addr:    *admin,
+			Handler: service.NewAdminHandler(adminCfg),
 		}
 		go func() {
 			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -147,6 +180,43 @@ func run() error {
 	err = srv.Serve(ctx)
 	logger.Info("voiceprintd: drained, exiting")
 	return err
+}
+
+// buildVersion resolves the daemon's version from the embedded build
+// info: the module version when built from a tagged release, otherwise
+// the VCS revision (with a +dirty marker for uncommitted changes).
+func buildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	ver := info.Main.Version
+	if ver != "(devel)" && ver != "" {
+		// A VCS-stamped build already carries the revision (and +dirty)
+		// in its pseudo-version; don't append it twice.
+		return ver
+	}
+	ver = "devel"
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		ver += "-" + rev
+	}
+	if dirty {
+		ver += "+dirty"
+	}
+	return ver
 }
 
 // runReplay streams a trace CSV through the ingest path, printing the

@@ -14,3 +14,7 @@ func TestGoldenDrift(t *testing.T) {
 func TestMissingGolden(t *testing.T) {
 	vettest.Run(t, metricnames.Analyzer, "testdata/src/nogolden", "voiceprint/internal/fixture")
 }
+
+func TestWALFamilies(t *testing.T) {
+	vettest.Run(t, metricnames.Analyzer, "testdata/src/walmetrics", "voiceprint/internal/fixture")
+}

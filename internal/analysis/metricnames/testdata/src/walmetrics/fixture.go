@@ -1,0 +1,19 @@
+// Fixture for the metricnames analyzer over the PR 6 durability
+// telemetry: the wal_* counter/histogram/gauge families must be pinned
+// in the package golden like any other instrument, a new unpinned WAL
+// family is reported, and a retired golden family is flagged at the
+// NewRegistry call.
+package fixture
+
+import "voiceprint/internal/obs"
+
+func buildWAL(c *obs.Counter, g *obs.Gauge, h *obs.Histogram) *obs.Registry {
+	r := obs.NewRegistry("walfixture") // want "golden family \"walfixture_wal_snapshot_retired_total\" \\(testdata/metrics_golden.prom\\) is no longer registered"
+	r.Counter("wal_appends_total", "Records appended to the journal.", c)
+	r.Counter("wal_truncations_total", "Torn tails truncated during recovery.", c)
+	r.Counter("wal_snapshots_total", "Compacting snapshots written.", c)
+	r.Histogram("wal_fsync_ns", "Fsync latency in nanoseconds.", h)
+	r.Gauge("wal_segment_bytes", "Active segment size.", g)
+	r.Counter("wal_replay_lag_total", "Absent from the golden.", c) // want "metric \"wal_replay_lag_total\" is not pinned"
+	return r
+}

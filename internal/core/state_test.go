@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"voiceprint/internal/lda"
+	"voiceprint/internal/timeseries"
+	"voiceprint/internal/vanet"
+)
+
+func stateTestMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	mon, err := NewMonitor(MonitorConfig{
+		Detector:      DefaultConfig(lda.Boundary{K: 0.000025, B: 0.0067}),
+		ConfirmWindow: 3,
+		ConfirmNeed:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mon
+}
+
+// feedState drives a monitor through a few rounds of mixed traffic so
+// every durable field (series, lastObs, confirm history, known-Sybil
+// set, eviction counter) is non-trivial.
+func feedState(t *testing.T, mon *Monitor) {
+	t.Helper()
+	for round := 0; round < 4; round++ {
+		base := time.Duration(round) * 20 * time.Second
+		for i := 0; i < 40; i++ {
+			at := base + time.Duration(i)*500*time.Millisecond
+			// Two Sybil identities sharing a waveform, two distinct ones.
+			wave := -60 - float64(i%9)
+			for _, id := range []vanet.NodeID{101, 102} {
+				if err := mon.Observe(id, at, wave); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := mon.Observe(1, at, -55-float64((i*3)%11)); err != nil {
+				t.Fatal(err)
+			}
+			if err := mon.Observe(2, at, -72-float64((i*5)%13)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := mon.Detect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	src := stateTestMonitor(t)
+	feedState(t, src)
+	st := src.State()
+	if len(st.Identities) == 0 || len(st.Confirm) == 0 {
+		t.Fatalf("state is trivial: %d identities, %d confirm entries", len(st.Identities), len(st.Confirm))
+	}
+
+	dst := stateTestMonitor(t)
+	if err := dst.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.State(); !reflect.DeepEqual(got, st) {
+		t.Errorf("restored state differs:\n got %+v\nwant %+v", got, st)
+	}
+	if got, want := dst.Now(), src.Now(); got != want {
+		t.Errorf("Now = %v, want %v", got, want)
+	}
+	if got, want := dst.Confirmed(), src.Confirmed(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Confirmed = %v, want %v", got, want)
+	}
+
+	// The restored monitor must behave identically from here on: same
+	// traffic, same verdicts.
+	feedMore := func(m *Monitor) map[vanet.NodeID]bool {
+		base := m.Now()
+		for i := 0; i < 40; i++ {
+			at := base + time.Duration(i+1)*500*time.Millisecond
+			wave := -60 - float64(i%9)
+			for _, id := range []vanet.NodeID{101, 102} {
+				if err := m.Observe(id, at, wave); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m.Observe(1, at, -55-float64((i*3)%11)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := m.Detect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Confirmed
+	}
+	if got, want := feedMore(dst), feedMore(src); !reflect.DeepEqual(got, want) {
+		t.Errorf("post-restore round diverged: got %v, want %v", got, want)
+	}
+}
+
+func TestStateCaptureIsDeepCopy(t *testing.T) {
+	mon := stateTestMonitor(t)
+	feedState(t, mon)
+	st := mon.State()
+	before := st.Identities[0].Samples[0]
+	// Keep mutating the monitor; the captured state must not move.
+	if err := mon.Observe(st.Identities[0].ID, mon.Now()+time.Second, -64); err != nil {
+		t.Fatal(err)
+	}
+	if st.Identities[0].Samples[0] != before {
+		t.Error("captured samples alias the live series")
+	}
+}
+
+func TestRestoreStateRejectsNonFresh(t *testing.T) {
+	mon := stateTestMonitor(t)
+	feedState(t, mon)
+	if err := mon.RestoreState(&MonitorState{}); err == nil {
+		t.Error("RestoreState on a used monitor succeeded")
+	}
+}
+
+func TestRestoreStateRejectsBadSamples(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []timeseries.Sample
+	}{
+		{"non-finite", []timeseries.Sample{{T: 0, RSSI: math.NaN()}}},
+		{"regressing", []timeseries.Sample{{T: time.Second, RSSI: -60}, {T: 0, RSSI: -61}}},
+	}
+	for _, tc := range cases {
+		st := &MonitorState{Identities: []IdentityState{{ID: 1, Samples: tc.samples}}}
+		if err := stateTestMonitor(t).RestoreState(st); err == nil {
+			t.Errorf("%s: RestoreState succeeded", tc.name)
+		}
+	}
+}
+
+func TestRestoreStateTrimsWideConfirmHistory(t *testing.T) {
+	mon := stateTestMonitor(t) // window 3
+	st := &MonitorState{Confirm: []ConfirmState{{ID: 7, Flags: []bool{true, true, false, false, false}}}}
+	if err := mon.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	// Only the newest 3 flags survive: {false,false,false} → not confirmed.
+	if mon.Confirmed()[7] {
+		t.Error("identity confirmed from flags beyond the window")
+	}
+}

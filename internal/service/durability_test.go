@@ -1,0 +1,270 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"voiceprint/internal/core"
+	"voiceprint/internal/vanet"
+	"voiceprint/internal/wal"
+)
+
+func walTestConfig(t *testing.T, dir string) Config {
+	t.Helper()
+	return Config{
+		Network:  "tcp",
+		Addr:     "127.0.0.1:0",
+		Registry: RegistryConfig{Monitor: testMonitorConfig()},
+		Period:   time.Hour, // rounds fire only when the test asks
+		WAL:      &WALConfig{Dir: dir, SnapshotInterval: -1},
+	}
+}
+
+// bootServer starts a server whose lifecycle the test drives by hand
+// (unlike startServer's Cleanup-managed shutdown).
+func bootServer(t *testing.T, cfg Config) (*Server, func() error) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	return srv, func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(10 * time.Second):
+			return errors.New("server did not shut down")
+		}
+	}
+}
+
+// feedDurable pushes a deterministic multi-identity trace through the
+// registry (journaling it) and fires two detection rounds.
+func feedDurable(t *testing.T, srv *Server) {
+	t.Helper()
+	reg := srv.Registry()
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 50; i++ {
+			tms := int64(round)*5000 + int64(i)*100
+			wave := -60 - float64(i%9)
+			for _, id := range []vanet.NodeID{101, 102} {
+				if err := reg.Observe(Observation{Recv: 9, Sender: id, TMs: tms, RSSI: wave}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := reg.Observe(Observation{Recv: 9, Sender: 1, TMs: tms, RSSI: -55 - float64((i*3)%11)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, out := range srv.DetectNow() {
+			if out.Err != nil {
+				t.Fatal(out.Err)
+			}
+		}
+	}
+}
+
+// fleetStates captures every receiver's full monitor state.
+func fleetStates(srv *Server) map[vanet.NodeID]*core.MonitorState {
+	states := map[vanet.NodeID]*core.MonitorState{}
+	reg := srv.Registry()
+	for _, recv := range reg.Receivers() {
+		states[recv] = reg.Monitor(recv).State()
+	}
+	return states
+}
+
+// TestServerWALCrashRecoveryStateParity kills the WAL mid-flight (no
+// final fsync, no snapshot) and reboots on the same directory: the
+// recovered fleet must be state-identical to the crashed one.
+func TestServerWALCrashRecoveryStateParity(t *testing.T) {
+	dir := t.TempDir()
+	srv, stop := bootServer(t, walTestConfig(t, dir))
+	feedDurable(t, srv)
+	want := fleetStates(srv)
+	srv.WAL().Abort()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, stop2 := bootServer(t, walTestConfig(t, dir))
+	defer func() {
+		if err := stop2(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := fleetStates(srv2); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered fleet state differs:\n got %+v\nwant %+v", got, want)
+	}
+	if got := srv2.Metrics().WALReplayedRecords.Load(); got == 0 {
+		t.Error("crash recovery replayed no records")
+	}
+}
+
+// TestServerWALGracefulRestartUsesSnapshot: a clean shutdown compacts
+// the journal, so the next boot restores purely from the snapshot —
+// zero replayed records — and still reaches the identical fleet state.
+func TestServerWALGracefulRestartUsesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	srv, stop := bootServer(t, walTestConfig(t, dir))
+	feedDurable(t, srv)
+	want := fleetStates(srv)
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, stop2 := bootServer(t, walTestConfig(t, dir))
+	defer func() {
+		if err := stop2(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := fleetStates(srv2); !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot-restored fleet state differs:\n got %+v\nwant %+v", got, want)
+	}
+	if got := srv2.Metrics().WALReplayedRecords.Load(); got != 0 {
+		t.Errorf("graceful restart replayed %d records, want 0 (shutdown snapshot compacts)", got)
+	}
+}
+
+// TestServerWALDisabled: a nil Config.WAL keeps the in-memory behavior
+// — no journal, no snapshot surface, no WAL section in health.
+func TestServerWALDisabled(t *testing.T) {
+	cfg := walTestConfig(t, "")
+	cfg.WAL = nil
+	srv, stop := bootServer(t, cfg)
+	defer func() {
+		if err := stop(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if srv.WAL() != nil {
+		t.Error("WAL() non-nil without Config.WAL")
+	}
+	if _, err := srv.Snapshot(); !errors.Is(err, ErrWALDisabled) {
+		t.Errorf("Snapshot without WAL = %v, want ErrWALDisabled", err)
+	}
+	if h := srv.Health(); h.WAL != nil {
+		t.Errorf("health reports WAL section without a WAL: %+v", h.WAL)
+	}
+}
+
+// TestHealthzJSON pins the upgraded /healthz: JSON readiness with build
+// version and WAL lag, 503 once the scheduler stalls, recovering after
+// a round completes.
+func TestHealthzJSON(t *testing.T) {
+	dir := t.TempDir()
+	cfg := walTestConfig(t, dir)
+	cfg.Period = 50 * time.Millisecond
+	srv, stop := bootServer(t, cfg)
+	defer func() {
+		if err := stop(); err != nil {
+			t.Error(err)
+		}
+	}()
+	h := NewAdminHandler(AdminConfig{
+		Metrics:  srv.Metrics(),
+		Registry: srv.Registry(),
+		Health:   srv.Health,
+		Version:  "test-build-1",
+	})
+	get := func() (int, Health) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		var rep Health
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatalf("/healthz body %q: %v", rec.Body.String(), err)
+		}
+		return rec.Code, rep
+	}
+
+	// Fresh daemon, no receivers: ok, no round yet, WAL section present.
+	code, rep := get()
+	if code != http.StatusOK || rep.Status != "ok" {
+		t.Errorf("fresh healthz = %d %q", code, rep.Status)
+	}
+	if rep.Version != "test-build-1" {
+		t.Errorf("version = %q", rep.Version)
+	}
+	if rep.WAL == nil {
+		t.Error("healthz missing WAL section with durability on")
+	} else if rep.WAL.LastSnapshotAgeMs != -1 {
+		t.Errorf("last_snapshot_age_ms = %d before any snapshot", rep.WAL.LastSnapshotAgeMs)
+	}
+
+	// A receiver plus a silent scheduler for >3 periods (and >3 s floor,
+	// faked by backdating the start) reads stalled, 503.
+	if err := srv.Registry().Observe(Observation{Recv: 1, Sender: 2, TMs: 0, RSSI: -70}); err != nil {
+		t.Fatal(err)
+	}
+	srv.started = time.Now().Add(-time.Minute)
+	srv.sched.lastRound.Store(0) // no round ever
+	if code, rep = get(); code != http.StatusServiceUnavailable || rep.Status != "stalled" {
+		t.Errorf("stalled healthz = %d %q, want 503 stalled", code, rep.Status)
+	}
+	if rep.Receivers != 1 || rep.LastRoundAgeMs != -1 {
+		t.Errorf("stalled report = %+v", rep)
+	}
+
+	// A completed round restores readiness and ages the round stamp.
+	srv.DetectNow()
+	if code, rep = get(); code != http.StatusOK || rep.Status != "ok" || rep.LastRoundAgeMs < 0 {
+		t.Errorf("post-round healthz = %d %+v", code, rep)
+	}
+}
+
+// TestSnapshotEndpoint: POST triggers a compaction and reports it; GET
+// is rejected; an in-flight snapshot yields 409.
+func TestSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv, stop := bootServer(t, walTestConfig(t, dir))
+	defer func() {
+		if err := stop(); err != nil {
+			t.Error(err)
+		}
+	}()
+	feedDurable(t, srv)
+	h := NewAdminHandler(AdminConfig{
+		Metrics:  srv.Metrics(),
+		Registry: srv.Registry(),
+		Health:   srv.Health,
+		Snapshot: srv.Snapshot,
+	})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/snapshot", nil))
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") != http.MethodPost {
+		t.Errorf("GET /snapshot = %d Allow=%q", rec.Code, rec.Header().Get("Allow"))
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/snapshot", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /snapshot = %d %s", rec.Code, rec.Body.String())
+	}
+	var info wal.SnapshotInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Receivers != 1 || info.Bytes == 0 {
+		t.Errorf("snapshot info = %+v", info)
+	}
+
+	srv.snapBusy.Store(true) // hold the single snapshot slot
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/snapshot", nil))
+	if rec.Code != http.StatusConflict {
+		t.Errorf("POST /snapshot while busy = %d, want 409", rec.Code)
+	}
+	srv.snapBusy.Store(false)
+}

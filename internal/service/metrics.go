@@ -5,6 +5,7 @@ import (
 
 	"voiceprint/internal/core"
 	"voiceprint/internal/obs"
+	"voiceprint/internal/wal"
 )
 
 // Metrics are the daemon's operational instruments, built on the
@@ -70,6 +71,20 @@ type Metrics struct {
 	RoundsSkippedUnchanged obs.Counter
 	// SuspectsFlagged counts identity flags summed over rounds.
 	SuspectsFlagged obs.Counter
+	// WALAppends counts records journaled to the write-ahead log;
+	// WALAppendErrors counts appends that failed (the in-memory apply
+	// proceeds regardless — availability over durability).
+	WALAppends, WALAppendErrors obs.Counter
+	// WALFsyncs counts fsyncs of the active WAL segment (group commits
+	// under the interval policy, one per append under always).
+	WALFsyncs obs.Counter
+	// WALReplayedRecords counts journal records re-applied during boot
+	// recovery; WALTruncations counts torn or corrupt segment tails cut
+	// off during recovery.
+	WALReplayedRecords, WALTruncations obs.Counter
+	// WALSnapshots counts compacted snapshots written; WALSnapshotErrors
+	// counts snapshot attempts that failed.
+	WALSnapshots, WALSnapshotErrors obs.Counter
 	// RoundLatencyNs accumulates wall-clock nanoseconds spent in rounds.
 	// Kept for name compatibility; the RoundLatency histogram is the
 	// source of truth for latency analysis (percentiles, not just a
@@ -96,6 +111,13 @@ type Metrics struct {
 	// extraction, collection, normalization, pairwise DTW, confirmation),
 	// fed through the core.Observer hook installed by NewRegistry.
 	StageLatency [core.NumStages]obs.Histogram
+	// WALFsyncLatency and WALSnapshotLatency time WAL fsyncs and snapshot
+	// writes; repo convention keeps durations in nanoseconds (ns), like
+	// the round histograms, rather than Prometheus-idiomatic seconds.
+	WALFsyncLatency, WALSnapshotLatency obs.Histogram
+	// WALSegmentBytes gauges the active segment size; WALSnapshotBytes
+	// the newest snapshot's size.
+	WALSegmentBytes, WALSnapshotBytes obs.Gauge
 }
 
 // Snapshot returns the counters as a name → value map — the legacy
@@ -123,6 +145,30 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"round_latency_ns_total":         m.RoundLatencyNs.Load(),
 		"connections_opened_total":       m.ConnsOpened.Load(),
 		"connections_closed_total":       m.ConnsClosed.Load(),
+		"wal_appends_total":              m.WALAppends.Load(),
+		"wal_append_errors_total":        m.WALAppendErrors.Load(),
+		"wal_fsyncs_total":               m.WALFsyncs.Load(),
+		"wal_replayed_records_total":     m.WALReplayedRecords.Load(),
+		"wal_truncations_total":          m.WALTruncations.Load(),
+		"wal_snapshots_total":            m.WALSnapshots.Load(),
+		"wal_snapshot_errors_total":      m.WALSnapshotErrors.Load(),
+	}
+}
+
+// walStats wires the WAL instruments into a wal.Stats for wal.Open.
+func (m *Metrics) walStats() wal.Stats {
+	return wal.Stats{
+		Appends:         &m.WALAppends,
+		AppendErrors:    &m.WALAppendErrors,
+		Fsyncs:          &m.WALFsyncs,
+		FsyncNs:         &m.WALFsyncLatency,
+		SegmentBytes:    &m.WALSegmentBytes,
+		Snapshots:       &m.WALSnapshots,
+		SnapshotErrors:  &m.WALSnapshotErrors,
+		SnapshotNs:      &m.WALSnapshotLatency,
+		SnapshotBytes:   &m.WALSnapshotBytes,
+		ReplayedRecords: &m.WALReplayedRecords,
+		Truncations:     &m.WALTruncations,
 	}
 }
 
@@ -169,12 +215,23 @@ func (m *Metrics) Instruments(reg *Registry) *obs.Registry {
 	r.Counter("round_latency_ns_total", "Wall-clock nanoseconds summed over rounds; round_latency_ns is the source of truth, divide by rounds_run_total for a mean across all returned rounds.", &m.RoundLatencyNs)
 	r.Counter("connections_opened_total", "Ingest connections accepted.", &m.ConnsOpened)
 	r.Counter("connections_closed_total", "Ingest connections closed.", &m.ConnsClosed)
+	r.Counter("wal_appends_total", "Records journaled to the write-ahead log.", &m.WALAppends)
+	r.Counter("wal_append_errors_total", "Journal appends that failed (the in-memory apply proceeded).", &m.WALAppendErrors)
+	r.Counter("wal_fsyncs_total", "Fsyncs of the active WAL segment.", &m.WALFsyncs)
+	r.Counter("wal_replayed_records_total", "Journal records re-applied during boot recovery.", &m.WALReplayedRecords)
+	r.Counter("wal_truncations_total", "Torn or corrupt WAL segment tails truncated during recovery.", &m.WALTruncations)
+	r.Counter("wal_snapshots_total", "Compacted monitor-state snapshots written.", &m.WALSnapshots)
+	r.Counter("wal_snapshot_errors_total", "Snapshot attempts that failed.", &m.WALSnapshotErrors)
 
 	r.Histogram("round_latency_ns", "Wall-clock detection round latency, nanoseconds.", &m.RoundLatency)
 	r.Histogram("round_ingest_lag_ns", "Stream-time lag of a round's window end behind its receiver's ingest clock, nanoseconds.", &m.IngestLag)
 	for s := core.Stage(0); s < core.NumStages; s++ {
 		r.Histogram("round_stage_latency_ns", "Detection round stage latency, nanoseconds.", &m.StageLatency[s], "stage", s.String())
 	}
+	r.Histogram("wal_fsync_ns", "WAL fsync latency, nanoseconds.", &m.WALFsyncLatency)
+	r.Histogram("wal_snapshot_ns", "Snapshot write latency (capture through rename), nanoseconds.", &m.WALSnapshotLatency)
+	r.Gauge("wal_segment_bytes", "Size of the active WAL segment.", &m.WALSegmentBytes)
+	r.Gauge("wal_snapshot_bytes", "Size of the newest snapshot file.", &m.WALSnapshotBytes)
 
 	if reg != nil {
 		r.GaugeFunc("receivers", "Receiver monitors materialized.", func() int64 {

@@ -40,6 +40,17 @@ func fixedMetrics() *Metrics {
 	m.RoundLatencyNs.Add(123456789)
 	m.ConnsOpened.Add(8)
 	m.ConnsClosed.Add(8)
+	m.WALAppends.Add(400)
+	m.WALAppendErrors.Add(1)
+	m.WALFsyncs.Add(37)
+	m.WALReplayedRecords.Add(250)
+	m.WALTruncations.Add(1)
+	m.WALSnapshots.Add(3)
+	m.WALSnapshotErrors.Add(1)
+	m.WALFsyncLatency.Observe(120_000)      // 120 µs
+	m.WALSnapshotLatency.Observe(2_000_000) // 2 ms
+	m.WALSegmentBytes.Set(8192)
+	m.WALSnapshotBytes.Set(4096)
 	m.RoundLatency.Observe(900)        // first bucket
 	m.RoundLatency.Observe(1_500_000)  // ~1.5 ms
 	m.RoundLatency.Observe(40_000_000) // 40 ms

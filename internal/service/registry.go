@@ -9,6 +9,7 @@ import (
 
 	"voiceprint/internal/core"
 	"voiceprint/internal/vanet"
+	"voiceprint/internal/wal"
 )
 
 // RegistryConfig configures the per-receiver monitor shard.
@@ -34,6 +35,10 @@ type RegistryConfig struct {
 type Registry struct {
 	cfg     RegistryConfig
 	metrics *Metrics
+	// journal, when non-nil, receives every observation before it is
+	// applied (write-ahead). Installed once at boot, after recovery
+	// replay, so replayed observations do not re-journal.
+	journal *wal.Log
 
 	mu       sync.RWMutex
 	monitors map[vanet.NodeID]*core.Monitor
@@ -73,12 +78,34 @@ func NewRegistry(cfg RegistryConfig, metrics *Metrics) (*Registry, error) {
 	}, nil
 }
 
+// SetJournal installs the write-ahead log. Call it once at boot, after
+// recovery replay has finished and before ingest starts, so replayed
+// observations are not journaled a second time.
+func (r *Registry) SetJournal(l *wal.Log) { r.journal = l }
+
 // Observe routes one observation to its receiver's monitor, creating the
 // monitor on first contact. Stale observations (older than the reorder
 // tolerance) and observations beyond the receiver capacity are dropped
 // and accounted, not errored: a drop is a normal streaming event. The
 // returned error is reserved for hard failures (corrupt monitor state).
+//
+// With a journal installed the observation is journaled before it is
+// applied, under the snapshot barrier, so a crash between the two
+// replays it (the drop/clamp decisions re-resolve identically because
+// the monitor pipeline is deterministic). A journal append failure is
+// deliberately not fatal to the apply: availability over durability.
 func (r *Registry) Observe(o Observation) error {
+	if l := r.journal; l != nil {
+		l.Begin()
+		defer l.End()
+		_ = l.AppendObservation(o.Recv, o.Sender, o.T(), o.RSSI)
+	}
+	return r.observe(o)
+}
+
+// observe is the journal-free apply path; recovery replay calls it via
+// Observe before the journal is installed.
+func (r *Registry) observe(o Observation) error {
 	mon, err := r.monitor(o.Recv)
 	if err != nil {
 		return err
@@ -171,6 +198,47 @@ func (r *Registry) EvictedTotal() uint64 {
 		}
 	}
 	return total
+}
+
+// CaptureState deep-copies every receiver's durable monitor state, in
+// ascending receiver order. The WAL layer calls it under the snapshot
+// barrier, so no journal-and-apply step is in flight while it runs.
+func (r *Registry) CaptureState() []wal.ReceiverState {
+	recvs := r.Receivers()
+	out := make([]wal.ReceiverState, 0, len(recvs))
+	for _, recv := range recvs {
+		mon := r.Monitor(recv)
+		if mon == nil {
+			continue
+		}
+		out = append(out, wal.ReceiverState{Recv: recv, State: mon.State()})
+	}
+	return out
+}
+
+// RestoreMonitor materializes a receiver's monitor from a recovered
+// snapshot state. It is a boot-time operation: the receiver must not
+// already exist, and capacity limits still apply (a snapshot from a
+// larger configuration fails loudly rather than silently dropping
+// state).
+func (r *Registry) RestoreMonitor(recv vanet.NodeID, st *core.MonitorState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.monitors[recv] != nil {
+		return fmt.Errorf("service: restore: receiver %d already materialized", recv)
+	}
+	if len(r.monitors) >= r.cfg.MaxReceivers {
+		return fmt.Errorf("service: restore: receiver %d exceeds the %d-receiver capacity", recv, r.cfg.MaxReceivers)
+	}
+	mon, err := core.NewMonitor(r.cfg.Monitor)
+	if err != nil {
+		return fmt.Errorf("service: restore receiver %d: %w", recv, err)
+	}
+	if err := mon.RestoreState(st); err != nil {
+		return fmt.Errorf("service: restore receiver %d: %w", recv, err)
+	}
+	r.monitors[recv] = mon
+	return nil
 }
 
 // ConfirmedTotal sums the identities currently confirmed as Sybil across

@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"voiceprint/internal/core"
 	"voiceprint/internal/vanet"
+	"voiceprint/internal/wal"
 )
 
 // RoundOutcome is one completed detection round for one receiver.
@@ -43,6 +45,14 @@ type Scheduler struct {
 
 	sem chan struct{}
 	wg  sync.WaitGroup
+
+	// journal, when non-nil, records every completed round boundary so
+	// recovery can re-run the same rounds and rebuild the confirmation
+	// history. Installed once at boot, after recovery replay.
+	journal *wal.Log
+	// lastRound is the wall-clock UnixNano of the most recently completed
+	// round (0 until the first); /healthz gates on its age.
+	lastRound atomic.Int64
 
 	mu       sync.Mutex
 	inflight map[vanet.NodeID]bool
@@ -145,11 +155,40 @@ func (s *Scheduler) dispatch(recv vanet.NodeID) bool {
 // graceful shutdown calls it after the ingest listeners close.
 func (s *Scheduler) Drain() { s.wg.Wait() }
 
+// SetJournal installs the write-ahead log for round boundaries. Call it
+// once at boot, after recovery replay and before the first tick.
+func (s *Scheduler) SetJournal(l *wal.Log) { s.journal = l }
+
+// LastRound returns when the most recent round completed (the zero time
+// until the first round has run).
+func (s *Scheduler) LastRound() time.Time {
+	ns := s.lastRound.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 // round runs one detection round and updates the metrics. A panic in
 // the detector is recovered into an errored outcome: one receiver's bad
 // round must not take down the scheduler worker (and with it the
 // daemon's round cadence for every other receiver).
 func (s *Scheduler) round(recv vanet.NodeID, at time.Duration) (out RoundOutcome) {
+	// Liveness stamp; registered first so it runs last, after the round's
+	// outcome (including a recovered panic) is settled.
+	defer func() { s.lastRound.Store(time.Now().UnixNano()) }()
+	if l := s.journal; l != nil {
+		// The barrier spans run-then-journal: a concurrent snapshot either
+		// captures monitor state without this round's effects and replays
+		// its record, or captures after both — never in between. out.At is
+		// read at defer-run time, after the recover defer below has
+		// settled it, so even a panicked round journals its boundary.
+		l.Begin()
+		defer func() {
+			_ = l.AppendRound(recv, out.At)
+			l.End()
+		}()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			out = RoundOutcome{Recv: recv, At: at, Err: fmt.Errorf("service: round panic: %v", r)}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"voiceprint/internal/wal"
 )
 
 // Config configures a Server.
@@ -68,6 +70,30 @@ type Config struct {
 	// Deprecated: prefer Logger. Logf survives as a formatting shim over
 	// the structured records.
 	Logf func(format string, args ...any)
+	// WAL, when non-nil, makes detection state durable: observations and
+	// round boundaries are journaled to a write-ahead log in WAL.Dir,
+	// compacted periodically into monitor-state snapshots, and recovered
+	// on the next NewServer before ingest starts. Nil keeps today's
+	// purely in-memory behavior at zero cost.
+	WAL *WALConfig
+}
+
+// WALConfig configures the durability subsystem (Config.WAL).
+type WALConfig struct {
+	// Dir is the journal directory, created if absent. Required.
+	Dir string
+	// Fsync is the fsync policy (wal.SyncInterval, the zero value, group-
+	// commits once per FsyncInterval).
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the group-commit period; zero means 5 ms.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the journal segment past this size; zero means
+	// 64 MiB.
+	SegmentBytes int64
+	// SnapshotInterval is the periodic compaction cadence; zero means
+	// 5 minutes, negative disables periodic snapshots (explicit
+	// Server.Snapshot and the shutdown snapshot still work).
+	SnapshotInterval time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -130,6 +156,13 @@ type Server struct {
 	reg     *Registry
 	sched   *Scheduler
 
+	// wal is non-nil when Config.WAL enabled durability; started anchors
+	// the /healthz startup grace before the first round completes.
+	wal      *wal.Log
+	started  time.Time
+	snapBusy atomic.Bool
+	bgWG     sync.WaitGroup
+
 	ln net.Listener
 
 	mu     sync.Mutex
@@ -165,6 +198,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		metrics: metrics,
 		reg:     reg,
+		started: time.Now(),
 		conns:   make(map[*serverConn]struct{}),
 	}
 	sched, err := NewScheduler(reg, metrics, cfg.Workers, s.broadcast)
@@ -172,6 +206,11 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.sched = sched
+	if cfg.WAL != nil {
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Listener != nil {
 		s.ln = cfg.Listener
 		return s, nil
@@ -192,6 +231,149 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Registry exposes the server's receiver shard.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// WAL exposes the server's write-ahead log, nil when durability is
+// disabled. The testkit uses it to simulate crashes.
+func (s *Server) WAL() *wal.Log { return s.wal }
+
+// openWAL opens (or recovers) the journal and replays recovered state
+// through the normal ingest and round paths. The journal hooks are
+// installed only after replay finishes, so replayed records are not
+// journaled a second time; replay does re-count ingest/round metrics,
+// which is deliberate — the counters describe this process's work.
+func (s *Server) openWAL() error {
+	wc := s.cfg.WAL
+	l, rec, err := wal.Open(wal.Options{
+		Dir:          wc.Dir,
+		Policy:       wc.Fsync,
+		Interval:     wc.FsyncInterval,
+		SegmentBytes: wc.SegmentBytes,
+		Stats:        s.metrics.walStats(),
+		Logger:       s.cfg.Logger,
+	})
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	for _, rs := range rec.Snapshot {
+		if err := s.reg.RestoreMonitor(rs.Recv, rs.State); err != nil {
+			l.Close()
+			return err
+		}
+	}
+	if err := rec.Replay(func(r wal.Record) error {
+		switch r.Kind {
+		case wal.KindObservation:
+			return s.reg.Observe(Observation{Recv: r.Recv, Sender: r.Sender, TMs: r.T.Milliseconds(), RSSI: r.RSSI})
+		case wal.KindRound:
+			s.sched.DetectOne(r.Recv, r.At)
+		}
+		return nil
+	}); err != nil {
+		l.Close()
+		return err
+	}
+	if rec.SnapshotPath != "" || rec.Records > 0 {
+		s.cfg.Logger.Info("service: recovered durable state",
+			"snapshot", rec.SnapshotPath,
+			"snapshot_receivers", len(rec.Snapshot),
+			"replayed_records", rec.Records)
+	}
+	s.reg.SetJournal(l)
+	s.sched.SetJournal(l)
+	s.wal = l
+	return nil
+}
+
+// ErrWALDisabled is returned by Snapshot when the server runs without a
+// WAL; ErrSnapshotInFlight when a snapshot is already being written.
+var (
+	ErrWALDisabled      = errors.New("service: wal disabled")
+	ErrSnapshotInFlight = errors.New("service: snapshot already in flight")
+)
+
+// Snapshot compacts the journal: it captures every receiver's monitor
+// state under the WAL's snapshot barrier and writes it as the new
+// recovery baseline, pruning superseded segments. At most one snapshot
+// runs at a time.
+func (s *Server) Snapshot() (wal.SnapshotInfo, error) {
+	if s.wal == nil {
+		return wal.SnapshotInfo{}, ErrWALDisabled
+	}
+	if !s.snapBusy.CompareAndSwap(false, true) {
+		return wal.SnapshotInfo{}, ErrSnapshotInFlight
+	}
+	defer s.snapBusy.Store(false)
+	return s.wal.Snapshot(s.reg.CaptureState)
+}
+
+// Health is the /healthz readiness report.
+type Health struct {
+	// Status is "ok", or "stalled" when receivers exist but no detection
+	// round has completed within ~3 periods.
+	Status string `json:"status"`
+	// Version is the daemon build version (filled by the admin layer).
+	Version   string `json:"version,omitempty"`
+	Receivers int    `json:"receivers"`
+	RoundsRun uint64 `json:"rounds_run"`
+	PeriodMs  int64  `json:"period_ms"`
+	// LastRoundAgeMs is the age of the newest completed round, -1 until
+	// the first round completes.
+	LastRoundAgeMs int64 `json:"last_round_age_ms"`
+	// WAL reports durability posture, absent when the WAL is disabled.
+	WAL *WALHealth `json:"wal,omitempty"`
+}
+
+// WALHealth is the WAL/snapshot section of Health.
+type WALHealth struct {
+	Segment      uint64 `json:"segment"`
+	SegmentBytes int64  `json:"segment_bytes"`
+	// SinceSnapshotBytes is the replay debt: journal bytes a restart
+	// right now would have to replay.
+	SinceSnapshotBytes int64 `json:"since_snapshot_bytes"`
+	// LastSnapshotAgeMs is -1 until the first snapshot is written.
+	LastSnapshotAgeMs int64 `json:"last_snapshot_age_ms"`
+}
+
+// Health reports scheduler liveness and WAL lag. The daemon is
+// "stalled" when it tracks receivers but the scheduler has not
+// completed a round within three detection periods (at least 3 s, and
+// measured from process start until the first round, so a fresh daemon
+// gets a startup grace rather than flapping).
+func (s *Server) Health() Health {
+	h := Health{
+		Status:         "ok",
+		Receivers:      len(s.reg.Receivers()),
+		RoundsRun:      s.metrics.RoundsRun.Load(),
+		PeriodMs:       s.cfg.Period.Milliseconds(),
+		LastRoundAgeMs: -1,
+	}
+	sinceRound := time.Since(s.started)
+	if last := s.sched.LastRound(); !last.IsZero() {
+		sinceRound = time.Since(last)
+		h.LastRoundAgeMs = sinceRound.Milliseconds()
+	}
+	stale := 3 * s.cfg.Period
+	if stale < 3*time.Second {
+		stale = 3 * time.Second
+	}
+	if h.Receivers > 0 && sinceRound > stale {
+		h.Status = "stalled"
+	}
+	if s.wal != nil {
+		st := s.wal.Status()
+		wh := &WALHealth{
+			Segment:            st.Segment,
+			SegmentBytes:       st.SegmentBytes,
+			SinceSnapshotBytes: st.SinceSnapshotBytes,
+			LastSnapshotAgeMs:  -1,
+		}
+		if !st.LastSnapshotAt.IsZero() {
+			wh.LastSnapshotAgeMs = time.Since(st.LastSnapshotAt).Milliseconds()
+		}
+		h.WAL = wh
+	}
+	return h
+}
 
 // Serve accepts connections and runs the detection schedule until ctx is
 // cancelled, then shuts down gracefully: stop accepting, close client
@@ -216,19 +398,64 @@ func (s *Server) Serve(ctx context.Context) error {
 
 	ticker := time.NewTicker(s.cfg.Period)
 	defer ticker.Stop()
+	var snapC <-chan time.Time
+	if s.wal != nil && s.cfg.WAL.SnapshotInterval >= 0 {
+		iv := s.cfg.WAL.SnapshotInterval
+		if iv == 0 {
+			iv = 5 * time.Minute
+		}
+		snapTicker := time.NewTicker(iv)
+		defer snapTicker.Stop()
+		snapC = snapTicker.C
+	}
 	for {
 		select {
 		case <-ticker.C:
 			s.sched.Tick()
+		case <-snapC:
+			// Off the schedule loop: a snapshot deep-copies the fleet and
+			// fsyncs, which must not delay detection ticks.
+			s.bgWG.Add(1)
+			go func() {
+				defer s.bgWG.Done()
+				s.snapshotBackground()
+			}()
 		case <-ctx.Done():
 			force := s.shutdown()
 			<-acceptDone
 			s.connWG.Wait()
 			force.Stop()
 			s.sched.Drain()
+			s.bgWG.Wait()
+			if s.wal != nil {
+				// SIGTERM flush: compact once more so the next boot restores
+				// from the snapshot instead of replaying the whole journal,
+				// then seal the log. An aborted (crash-simulated) log skips
+				// both quietly.
+				if _, err := s.Snapshot(); err != nil && !errors.Is(err, wal.ErrClosed) {
+					s.cfg.Logger.Warn("service: shutdown snapshot failed", "err", err)
+				}
+				if err := s.wal.Close(); err != nil && !errors.Is(err, wal.ErrClosed) {
+					s.cfg.Logger.Warn("service: wal close failed", "err", err)
+				}
+			}
 			return nil
 		}
 	}
+}
+
+// snapshotBackground runs one periodic compaction, logging the outcome.
+func (s *Server) snapshotBackground() {
+	info, err := s.Snapshot()
+	if err != nil {
+		if !errors.Is(err, ErrSnapshotInFlight) && !errors.Is(err, wal.ErrClosed) {
+			s.cfg.Logger.Warn("service: periodic snapshot failed", "err", err)
+		}
+		return
+	}
+	s.cfg.Logger.Info("service: snapshot written",
+		"path", info.Path, "receivers", info.Receivers,
+		"bytes", info.Bytes, "elapsed", info.Elapsed)
 }
 
 // DetectNow synchronously runs one round for every receiver (window

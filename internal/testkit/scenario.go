@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -49,6 +51,27 @@ type Scenario struct {
 	StalledSubscribers int
 	// WaitTimeout bounds each ingest-quiescence wait; zero means 10 s.
 	WaitTimeout time.Duration
+	// RestartAfter, when positive, restarts the server once after this
+	// many trace lines have been offered to the fault pipeline. The
+	// driver quiesces ingest first, then either shuts down gracefully or
+	// — with CrashRestart — kills the process model abruptly, and boots
+	// a fresh server on the same Service config before resuming the
+	// replay. Requires Service.WAL when the restarted server is expected
+	// to carry state across the boundary.
+	RestartAfter int
+	// CrashRestart makes the restart abrupt: the WAL is aborted (fd
+	// closed without a final fsync, exactly a SIGKILL's view of the
+	// page cache) instead of flushed, so recovery must rebuild state
+	// from the snapshot + journal tail. Requires Service.WAL.
+	CrashRestart bool
+	// TornTailBytes, with CrashRestart, appends this many garbage bytes
+	// to the newest WAL segment after the crash — a torn final write the
+	// recovery path must truncate.
+	TornTailBytes int
+	// SnapshotBeforeCrash triggers a compacting snapshot just before the
+	// crash, so recovery exercises the snapshot-load + tail-replay path
+	// rather than a full journal replay.
+	SnapshotBeforeCrash bool
 }
 
 // Report is the outcome of one scenario run.
@@ -82,6 +105,32 @@ func (r Report) AccountedIngest() uint64 {
 		r.Metrics["receivers_rejected_total"]
 }
 
+// tearSegmentTail appends garbage to the newest WAL segment in dir,
+// simulating a write torn by the crash. Recovery must truncate it.
+func tearSegmentTail(dir string, n int) error {
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		return fmt.Errorf("testkit: no WAL segment to tear in %s: %v", dir, err)
+	}
+	sort.Strings(segs) // zero-padded indices sort lexically
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return fmt.Errorf("testkit: tear segment tail: %w", err)
+	}
+	garbage := make([]byte, n)
+	for i := range garbage {
+		garbage[i] = 0xA5
+	}
+	_, werr := f.Write(garbage)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("testkit: tear segment tail: %w", werr)
+	}
+	return nil
+}
+
 // Run executes the scenario. The returned error covers harness
 // failures (dial, timeout, server error); detection-level outcomes are
 // in the Report.
@@ -109,23 +158,55 @@ func (s *Scenario) Run(ctx context.Context) (Report, error) {
 	if cfg.Period == 0 {
 		cfg.Period = 24 * time.Hour // rounds fire at driver boundaries only
 	}
-	srv, err := service.NewServer(cfg)
-	if err != nil {
+	if s.CrashRestart && cfg.WAL == nil {
+		return rep, errors.New("testkit: CrashRestart requires Service.WAL")
+	}
+	if s.RestartAfter > 0 && cfg.Listener != nil {
+		// A caller-supplied listener cannot be re-bound after shutdown.
+		return rep, errors.New("testkit: RestartAfter requires Network/Addr, not Listener")
+	}
+
+	// The server and everything derived from it are rebindable so a
+	// mid-replay restart can swap in a fresh instance.
+	var (
+		srv  *service.Server
+		stop context.CancelFunc
+		done chan error
+		addr string
+		m    *service.Metrics
+	)
+	boot := func() error {
+		var err error
+		srv, err = service.NewServer(cfg)
+		if err != nil {
+			return err
+		}
+		var serveCtx context.Context
+		serveCtx, stop = context.WithCancel(context.Background())
+		done = make(chan error, 1)
+		sv, d := srv, done
+		go func() { d <- sv.Serve(serveCtx) }()
+		addr = srv.Addr().String()
+		m = srv.Metrics()
+		return nil
+	}
+	if err := boot(); err != nil {
 		return rep, err
 	}
-	serveCtx, stop := context.WithCancel(context.Background())
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(serveCtx) }()
 	shutdown := func() error {
+		if done == nil {
+			return nil // already down (a restart failed mid-swap)
+		}
+		d := done
+		done = nil
 		stop()
 		select {
-		case err := <-done:
+		case err := <-d:
 			return err
 		case <-time.After(30 * time.Second):
 			return errors.New("testkit: server did not shut down (deadlock?)")
 		}
 	}
-	addr := srv.Addr().String()
 
 	// Stalled subscribers: connect, never read, never send.
 	var stalled []net.Conn
@@ -230,15 +311,15 @@ func (s *Scenario) Run(ctx context.Context) (Report, error) {
 		}
 	}
 
-	m := srv.Metrics()
 	accounted := func() uint64 {
 		return m.ObservationsIngested.Load() + m.StaleDropped.Load() +
 			m.MalformedDropped.Load() + m.BackpressureDropped.Load() +
 			m.OversizedDropped.Load() + m.ReceiversRejected.Load()
 	}
+	restarted := false
 	quiesce := func() error {
 		deadline := time.Now().Add(waitTimeout)
-		if s.Chaos.ResetProb == 0 {
+		if s.Chaos.ResetProb == 0 && !restarted {
 			// Without resets every delivered line lands in exactly one
 			// accounting bucket; wait for strict conservation.
 			for accounted() != uint64(rep.Delivered) {
@@ -250,8 +331,9 @@ func (s *Scenario) Run(ctx context.Context) (Report, error) {
 			}
 			return nil
 		}
-		// Resets lose a PRNG-chosen partial frame, so the exact count is
-		// unknowable; wait for the counters to go quiet instead.
+		// Resets lose a PRNG-chosen partial frame — and a restart resets
+		// the counters to whatever WAL replay re-counted — so the exact
+		// total is unknowable; wait for the counters to go quiet instead.
 		last, stable := accounted(), 0
 		for stable < 25 {
 			if time.Now().After(deadline) {
@@ -287,6 +369,38 @@ func (s *Scenario) Run(ctx context.Context) (Report, error) {
 		return rep, err
 	}
 
+	// restart tears the server down mid-replay — gracefully, or as an
+	// abrupt crash when CrashRestart is set — and boots a replacement on
+	// the same config. Ingest is quiesced first so every delivered line
+	// is journaled; the redial happens lazily on the next writeLine, at
+	// the same record index in every run, keeping the per-stream chaos
+	// PRNGs aligned between a crashed run and its graceful reference.
+	restart := func() error {
+		flushPending()
+		if err := quiesce(); err != nil {
+			return err
+		}
+		restarted = true
+		if s.CrashRestart {
+			if s.SnapshotBeforeCrash {
+				if _, err := srv.Snapshot(); err != nil {
+					return fmt.Errorf("testkit: pre-crash snapshot: %w", err)
+				}
+			}
+			srv.WAL().Abort()
+		}
+		if err := shutdown(); err != nil {
+			return fmt.Errorf("testkit: restart shutdown: %w", err)
+		}
+		conn = nil // next writeLine redials the replacement server
+		if s.CrashRestart && s.TornTailBytes > 0 {
+			if err := tearSegmentTail(cfg.WAL.Dir, s.TornTailBytes); err != nil {
+				return err
+			}
+		}
+		return boot()
+	}
+
 	nb := period
 	for _, rec := range records {
 		if err := ctx.Err(); err != nil {
@@ -318,6 +432,11 @@ func (s *Scenario) Run(ctx context.Context) (Report, error) {
 		if s.DupProb > 0 && rng.Float64() < s.DupProb {
 			rep.Duplicated++
 			emit(line)
+		}
+		if s.RestartAfter > 0 && rep.Sent == s.RestartAfter && !restarted {
+			if err := restart(); err != nil {
+				return fail(err)
+			}
 		}
 	}
 	flushPending()

@@ -1,0 +1,503 @@
+package wal
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"voiceprint/internal/core"
+	"voiceprint/internal/lda"
+	"voiceprint/internal/obs"
+	"voiceprint/internal/vanet"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	records := []Record{
+		{Kind: KindObservation, Recv: 901, Sender: 102, T: 18400 * time.Millisecond, RSSI: -71.25},
+		{Kind: KindObservation, Recv: 0, Sender: 0, T: 0, RSSI: 0},
+		{Kind: KindObservation, Recv: math.MaxUint32, Sender: math.MaxUint32, T: 72 * time.Hour, RSSI: -120.5},
+		{Kind: KindRound, Recv: 901, At: 20 * time.Second},
+		{Kind: KindRound, Recv: 7, At: -1}, // live round marker
+	}
+	var buf []byte
+	for _, r := range records {
+		var err error
+		buf, err = AppendRecord(buf, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	off := 0
+	for i, want := range records {
+		got, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("record %d = %+v, want %+v", i, got, want)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Errorf("decoded %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestAppendRecordRejectsUnknownKind(t *testing.T) {
+	if _, err := AppendRecord(nil, Record{Kind: 99}); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("err = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	frame, err := AppendRecord(nil, Record{Kind: KindObservation, Recv: 1, Sender: 2, T: time.Second, RSSI: -70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		mutate func([]byte) []byte
+		want   error
+	}{
+		"short header":  {func(b []byte) []byte { return b[:4] }, ErrShortFrame},
+		"short payload": {func(b []byte) []byte { return b[:len(b)-3] }, ErrShortFrame},
+		"zero length":   {func(b []byte) []byte { b[0], b[1], b[2], b[3] = 0, 0, 0, 0; return b }, ErrFrameSize},
+		"huge length":   {func(b []byte) []byte { b[0], b[1], b[2], b[3] = 0xff, 0xff, 0xff, 0xff; return b }, ErrFrameSize},
+		"flipped bit":   {func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b }, ErrChecksum},
+	} {
+		b := tc.mutate(append([]byte(nil), frame...))
+		if _, n, err := DecodeRecord(b); !errors.Is(err, tc.want) || n != 0 {
+			t.Errorf("%s: (n=%d, err=%v), want (0, %v)", name, n, err, tc.want)
+		}
+	}
+}
+
+// appendN journals n observation records with distinct contents.
+func appendN(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		err := l.AppendObservation(vanet.NodeID(1+i%3), vanet.NodeID(100+i), time.Duration(i)*time.Millisecond, -60-float64(i%20))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// replayAll collects every replayable record.
+func replayAll(t *testing.T, rec *Recovery) []Record {
+	t.Helper()
+	var out []Record
+	if err := rec.Replay(func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendCloseReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Snapshot) != 0 || len(replayAll(t, rec)) != 0 {
+		t.Fatal("fresh directory recovered state")
+	}
+	appendN(t, l, 0, 100)
+	if err := l.AppendRound(1, 42*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindRound, Recv: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close: %v, want ErrClosed", err)
+	}
+
+	l2, rec2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, rec2)
+	if len(got) != 101 {
+		t.Fatalf("replayed %d records, want 101", len(got))
+	}
+	if got[0] != (Record{Kind: KindObservation, Recv: 1, Sender: 100, T: 0, RSSI: -60}) {
+		t.Errorf("first record = %+v", got[0])
+	}
+	if last := got[100]; last.Kind != KindRound || last.Recv != 1 || last.At != 42*time.Millisecond {
+		t.Errorf("last record = %+v", last)
+	}
+	// New appends land in a fresh segment beyond anything recovered.
+	if l2.Status().Segment <= rec2.segments[len(rec2.segments)-1].index {
+		t.Errorf("active segment %d does not follow recovered segment %d", l2.Status().Segment, rec2.segments[len(rec2.segments)-1].index)
+	}
+}
+
+func TestAbortKeepsWrittenRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 50)
+	l.Abort() // crash: no final fsync, fd closed
+	if err := l.Append(Record{Kind: KindRound, Recv: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after abort: %v, want ErrClosed", err)
+	}
+
+	_, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(replayAll(t, rec)); got != 50 {
+		t.Errorf("replayed %d records after abort, want 50", got)
+	}
+}
+
+// newestSegment returns the lexically newest segment path in dir.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	return matches[len(matches)-1]
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	var stats struct {
+		truncations, replayed obs.Counter
+	}
+	opts := Options{Dir: dir, Stats: Stats{Truncations: &stats.truncations, ReplayedRecords: &stats.replayed}}
+	l, _, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 30)
+	l.Abort()
+
+	// Torn write: garbage after the last full frame.
+	path := newestSegment(t, dir)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := make([]byte, 37)
+	for i := range garbage {
+		garbage[i] = 0xff
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := len(replayAll(t, rec)); got != 30 {
+		t.Errorf("replayed %d records, want 30", got)
+	}
+	if stats.truncations.Load() == 0 {
+		t.Error("truncation not counted")
+	}
+	if stats.replayed.Load() != 30 {
+		t.Errorf("replayed counter = %d, want 30", stats.replayed.Load())
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size()-int64(len(garbage)) {
+		t.Errorf("segment %d bytes after recovery, want %d", after.Size(), before.Size()-int64(len(garbage)))
+	}
+}
+
+func TestCorruptionMidHistoryDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation: ~30-byte frames, so 10 records span
+	// several segments.
+	l, _, err := Open(Options{Dir: dir, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d (err %v)", len(segs), err)
+	}
+
+	// Flip one payload byte in the middle segment: everything from that
+	// record on — including whole later segments — must be dropped.
+	mid := segs[len(segs)/2]
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeader+frameHeader+2] ^= 0x10
+	if err := os.WriteFile(mid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, rec)
+	if len(got) == 0 || len(got) >= 40 {
+		t.Fatalf("replayed %d records, want a strict prefix", len(got))
+	}
+	// The prefix is contiguous from the start: record i carries T = i ms.
+	for i, r := range got {
+		if r.T != time.Duration(i)*time.Millisecond {
+			t.Fatalf("record %d has T %v: replay is not a contiguous prefix", i, r.T)
+		}
+	}
+	for _, s := range segs[len(segs)/2+1:] {
+		if _, err := os.Stat(s); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("segment %s survived the corruption point", s)
+		}
+	}
+}
+
+// testStates builds a deterministic monitor fleet state.
+func testStates(t *testing.T) []ReceiverState {
+	t.Helper()
+	mon, err := core.NewMonitor(core.MonitorConfig{
+		Detector:      core.DefaultConfig(lda.Boundary{K: 0.000025, B: 0.0067}),
+		ConfirmWindow: 3,
+		ConfirmNeed:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		at := time.Duration(i) * 400 * time.Millisecond
+		for _, id := range []vanet.NodeID{101, 102} {
+			if err := mon.Observe(id, at, -60-float64(i%9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := mon.Observe(1, at, -55-float64((i*3)%11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mon.Detect(); err != nil {
+		t.Fatal(err)
+	}
+	return []ReceiverState{{Recv: 901, State: mon.State()}}
+}
+
+func TestSnapshotCompactsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 50) // several segments of pre-snapshot history
+	states := testStates(t)
+	info, err := l.Snapshot(func() []ReceiverState { return states })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Receivers != 1 || info.Bytes == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	appendN(t, l, 50, 20) // post-snapshot tail
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-snapshot segments are pruned.
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	for _, s := range segs {
+		if idx, _ := parseIndexed(filepath.Base(s), segPrefix, segSuffix); idx < info.NextSegment {
+			t.Errorf("segment %s survived compaction", s)
+		}
+	}
+
+	l2, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if !reflect.DeepEqual(rec.Snapshot, states) {
+		t.Error("recovered snapshot state differs from the captured one")
+	}
+	got := replayAll(t, rec)
+	if len(got) != 20 {
+		t.Fatalf("replayed %d records, want only the 20 post-snapshot ones", len(got))
+	}
+	if got[0].T != 50*time.Millisecond {
+		t.Errorf("tail starts at T %v, want 50ms", got[0].T)
+	}
+}
+
+func TestCorruptSnapshotFallsBackToOlder(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := testStates(t)
+	if _, err := l.Snapshot(func() []ReceiverState { return states }); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 10)
+	info2, err := l.Snapshot(func() []ReceiverState { return states })
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The older snapshot was pruned by the newer one; corrupting the
+	// newest must not lose the journal tail — but with no older snapshot
+	// left, recovery starts empty and replays nothing before the torn
+	// point. What must NOT happen is an Open error or a panic.
+	data, err := os.ReadFile(info2.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(info2.Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.SnapshotPath != "" {
+		t.Errorf("loaded corrupt snapshot %s", rec.SnapshotPath)
+	}
+	// Replay must not error; the tail after the corrupt snapshot's
+	// NextSegment is still contiguous from the oldest surviving segment.
+	replayAll(t, rec)
+}
+
+func TestSnapshotBarrierExcludesConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 5)
+
+	captured := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// An op holding the barrier blocks the snapshot until End.
+		l.Begin()
+		defer l.End()
+		if err := l.AppendObservation(1, 2, time.Hour, -70); err != nil {
+			t.Error(err)
+		}
+		select {
+		case <-captured:
+			t.Error("snapshot captured while an op held the barrier")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := l.Snapshot(func() []ReceiverState {
+		close(captured)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			var fsyncs obs.Counter
+			l, _, err := Open(Options{Dir: dir, Policy: policy, Interval: time.Millisecond, Stats: Stats{Fsyncs: &fsyncs}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendN(t, l, 0, 20)
+			if policy == SyncInterval {
+				time.Sleep(20 * time.Millisecond) // let the group-commit flusher run
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			switch policy {
+			case SyncAlways:
+				if fsyncs.Load() < 20 {
+					t.Errorf("fsyncs = %d, want >= 20", fsyncs.Load())
+				}
+			case SyncInterval:
+				if fsyncs.Load() == 0 {
+					t.Error("group-commit flusher never synced")
+				}
+			case SyncNone:
+				// Close still does a final sync; appends alone must not.
+			}
+			_, rec, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(replayAll(t, rec)); got != 20 {
+				t.Errorf("replayed %d records, want 20", got)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "": SyncInterval, "none": SyncNone} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = (%v, %v), want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("ParseSyncPolicy accepted garbage")
+	}
+}
+
+func TestStatusTracksSnapshotLag(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 10)
+	if st := l.Status(); st.SinceSnapshotBytes == 0 || st.LastSnapshotSegment != 0 {
+		t.Errorf("pre-snapshot status = %+v", st)
+	}
+	if _, err := l.Snapshot(func() []ReceiverState { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Status()
+	if st.SinceSnapshotBytes != 0 || st.LastSnapshotSegment == 0 || st.LastSnapshotAt.IsZero() {
+		t.Errorf("post-snapshot status = %+v", st)
+	}
+}
