@@ -1,0 +1,184 @@
+package voiceprint
+
+// BENCH_pr7.json regeneration: compare-phase throughput with LB_Keogh
+// pruning, early-abandoning banded DTW, and the dirty-pair cache,
+// against the unpruned, uncached compare phase on the same input — the
+// before/after record for the sub-quadratic compare work, alongside the
+// BENCH_pr2.json sequential full-recompute reference. CI runs this once
+// per push (see .github/workflows/ci.yml); regenerate locally with
+//
+//	VOICEPRINT_BENCH_JSON=1 go test -run TestWriteBenchPR7JSON .
+//
+// The scenario is the steady state the pruning work targets: a monitor
+// that has heard the 25-second highway run re-detects at a fixed window
+// end while a handful of identities (a beacon burst) keep appending
+// observations. Every round therefore dirties 4 of the ~97 identities
+// in view; the other ~4500 pairs are provably unchanged. The verdicts
+// must be bit-identical across all three variants — that equality is
+// asserted here, and the chaos/replay/crash fixtures cover it under
+// fault injection.
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// compareBenchRounds is sized so one variant runs a few seconds at
+// baseline speed: long enough to average out scheduler noise, short
+// enough for a per-push CI step.
+const compareBenchRounds = 40
+
+// compareBenchMonitor builds a monitor with the given compare-phase
+// configuration and feeds it the full 25-second highway run,
+// interleaved by timestamp (the monitor clock rejects reordered
+// observations).
+func compareBenchMonitor(t *testing.T, ids []NodeID, series map[NodeID]*Series, prune, disableCache bool) *Monitor {
+	t.Helper()
+	cfg := MonitorConfig{Detector: DefaultDetectorConfig(benchBoundary()), MaxRangeM: 1000}
+	cfg.Detector.Workers = 1
+	cfg.Detector.MinMedianRSSIDBm = 0 // keep the whole ~97-identity neighborhood in view
+	cfg.Detector.LBPrune = prune
+	cfg.DisablePairCache = disableCache
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type obs struct {
+		id   NodeID
+		t    time.Duration
+		rssi float64
+	}
+	var all []obs
+	for _, id := range ids {
+		s := series[id]
+		for i := 0; i < s.Len(); i++ {
+			smp := s.At(i)
+			all = append(all, obs{id, smp.T, smp.RSSI})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].t < all[j].t })
+	for _, o := range all {
+		if err := mon.Observe(o.id, o.t, o.rssi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mon
+}
+
+type compareBenchEntry struct {
+	NsPerRound  int64   `json:"ns_per_round"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+}
+
+func TestWriteBenchPR7JSON(t *testing.T) {
+	if os.Getenv("VOICEPRINT_BENCH_JSON") == "" {
+		t.Skip("set VOICEPRINT_BENCH_JSON=1 to regenerate BENCH_pr7.json")
+	}
+	series := detectBenchSeries(t)
+	ids := make([]NodeID, 0, len(series))
+	for id := range series {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	end := 20 * time.Second
+
+	variants := []struct {
+		name                string
+		prune, disableCache bool
+	}{
+		{"baseline_unpruned", false, true},
+		{"pruned_cold", true, true},
+		{"pruned_warm", true, false},
+	}
+	entries := make(map[string]compareBenchEntry, len(variants))
+	pairs := 0
+	var wantSuspects, wantConfirmed map[NodeID]bool
+	for _, v := range variants {
+		mon := compareBenchMonitor(t, ids, series, v.prune, v.disableCache)
+		if _, err := mon.DetectAt(end); err != nil {
+			t.Fatal(err)
+		}
+		dirty := ids[:4]
+		start := time.Now()
+		for r := 0; r < compareBenchRounds; r++ {
+			for di, id := range dirty {
+				rssi := -58.0 - 4.5*float64(di) - 0.3*float64(r%7)
+				if err := mon.Observe(id, end, rssi); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := mon.DetectAt(end); err != nil {
+				t.Fatal(err)
+			}
+		}
+		perRound := time.Since(start) / compareBenchRounds
+		res, err := mon.DetectAt(end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pairs == 0 {
+			pairs = len(res.Pairs)
+			wantSuspects, wantConfirmed = res.Suspects, res.Confirmed
+		} else if len(res.Pairs) != pairs {
+			t.Errorf("%s: %d pairs per round, want %d", v.name, len(res.Pairs), pairs)
+		}
+		// The acceptance bar for pruning is that it is invisible in the
+		// verdict: every variant must convict exactly the same set.
+		if !sameIDSet(res.Suspects, wantSuspects) || !sameIDSet(res.Confirmed, wantConfirmed) {
+			t.Errorf("%s: suspects/confirmed diverge from %s", v.name, variants[0].name)
+		}
+		entries[v.name] = compareBenchEntry{
+			NsPerRound:  perRound.Nanoseconds(),
+			PairsPerSec: float64(pairs) / perRound.Seconds(),
+		}
+	}
+
+	base, warm := entries["baseline_unpruned"], entries["pruned_warm"]
+	speedup := float64(base.NsPerRound) / float64(max64(warm.NsPerRound, 1))
+	// Measured ~11x on the reference builder; the CI floor leaves head-
+	// room for noisy shared runners.
+	if speedup < 6 {
+		t.Errorf("warm incremental round is %.1fx the unpruned baseline; acceptance needs >=6x (target 10x)", speedup)
+	}
+	doc := struct {
+		Benchmark      string                       `json:"benchmark"`
+		Pairs          int                          `json:"pairs_per_round"`
+		DirtyPerRound  int                          `json:"dirty_identities_per_round"`
+		Variants       map[string]compareBenchEntry `json:"variants"`
+		Speedup        float64                      `json:"speedup_warm_vs_baseline"`
+		SpeedupCold    float64                      `json:"speedup_cold_vs_baseline"`
+		PR2PairsPerSec float64                      `json:"pr2_sequential_pairs_per_sec"`
+	}{
+		Benchmark:      "incremental compare phase (97 identities, highway density 40/km, 4 dirty identities per round)",
+		Pairs:          pairs,
+		DirtyPerRound:  4,
+		Variants:       entries,
+		Speedup:        speedup,
+		SpeedupCold:    float64(base.NsPerRound) / float64(max64(entries["pruned_cold"].NsPerRound, 1)),
+		PR2PairsPerSec: 3160 / 0.042616913, // BENCH_pr2.json sequential: 3160 pairs in 42.6 ms
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr7.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_pr7.json: warm %.1fx / cold %.1fx vs unpruned baseline (%d pairs, %.0f pairs/sec warm)",
+		doc.Speedup, doc.SpeedupCold, pairs, warm.PairsPerSec)
+}
+
+func sameIDSet(a, b map[NodeID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}

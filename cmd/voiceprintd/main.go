@@ -67,6 +67,7 @@ func run() error {
 	evictAfter := flag.Duration("evict-after", 0, "drop identities silent this long (0 = 2x observation)")
 	tolerance := flag.Duration("reorder-tolerance", 500*time.Millisecond, "accept observations up to this far out of order")
 	workers := flag.Int("workers", 0, "detection round worker pool size (0 = GOMAXPROCS)")
+	prune := flag.Bool("prune", true, "LB_Keogh candidate pruning in the compare phase (bit-identical verdicts)")
 	ingestBuffer := flag.Int("ingest-buffer", 0, "per-connection observation buffer (0 = default 4096)")
 	eventBuffer := flag.Int("event-buffer", 0, "per-connection outbound verdict buffer (0 = default 256)")
 	maxLineBytes := flag.Int("max-line-bytes", 0, "max inbound NDJSON line length (0 = default 64KiB)")
@@ -109,6 +110,7 @@ func run() error {
 	}
 	regCfg.Monitor.Detector.ObservationTime = *observation
 	regCfg.Monitor.Detector.Workers = *workers
+	regCfg.Monitor.Detector.LBPrune = *prune
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

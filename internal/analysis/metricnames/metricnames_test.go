@@ -18,3 +18,7 @@ func TestMissingGolden(t *testing.T) {
 func TestWALFamilies(t *testing.T) {
 	vettest.Run(t, metricnames.Analyzer, "testdata/src/walmetrics", "voiceprint/internal/fixture")
 }
+
+func TestPairFamilies(t *testing.T) {
+	vettest.Run(t, metricnames.Analyzer, "testdata/src/pairmetrics", "voiceprint/internal/fixture")
+}

@@ -98,6 +98,21 @@ type Config struct {
 	// The zero value (normalization on) is the production behaviour; the
 	// ablation experiment flips this to quantify the effect.
 	DisableLengthNormalization bool
+	// LBPrune enables LB_Keogh lower-bound pruning in the compare phase:
+	// a pair whose cheap O(n) lower bound already exceeds every raw cap
+	// it would have to pass skips the full DTW computation and records
+	// the bound as its Raw (marked Pruned). Flags, Suspects and the raw
+	// distances of unpruned pairs are bit-identical with pruning on or
+	// off — a branch-and-bound pass recomputes just enough pruned pairs
+	// to restore the exact batch min and max before the Equation 8
+	// normalization — but a pruned pair's Raw/Normalized are bounds, not
+	// distances. The zero value (off) is the bare-library default so
+	// training-data harvesting and the figure pipelines keep seeing true
+	// distances; deployments flip it on (voiceprintd does by default).
+	// Pruning requires a Sakoe-Chiba band: with BandRadius < 0
+	// (unconstrained-FastDTW ablation) the flag is ignored, and without
+	// any raw cap configured there is no threshold to prune against.
+	LBPrune bool
 	// Workers bounds the goroutines used for the O(n²) pairwise FastDTW
 	// comparison phase. Each pair is independent and results land in
 	// preassigned slots, so the outcome is bit-identical at any worker
@@ -208,6 +223,12 @@ type PairDistance struct {
 	Normalized float64
 	// Flagged reports whether the pair fell under the boundary.
 	Flagged bool
+	// Pruned reports that the pair was skipped by lower-bound pruning
+	// (Config.LBPrune): either the LB_Keogh envelope bound or the banded
+	// DP's early-abandoned prefix minimum. Raw and Normalized then hold
+	// the bound, which already exceeds every cap the pair would need to
+	// pass, not the true distance. Pruned pairs are never flagged.
+	Pruned bool
 }
 
 // Result is one detection round's outcome.
@@ -215,7 +236,11 @@ type Result struct {
 	// Suspects holds the identities confirmed as Sybil suspects.
 	Suspects map[vanet.NodeID]bool
 	// Pairs holds every comparison, for training data harvesting
-	// (Figure 10) and diagnostics.
+	// (Figure 10) and diagnostics. For rounds run under a Monitor the
+	// slice is backed by the monitor's reusable pair buffer: it stays
+	// valid until the monitor's next uncached round, so callers that
+	// retain results across rounds must copy it (bare Detector rounds
+	// allocate fresh).
 	Pairs []PairDistance
 	// Considered lists the identities that had enough samples to compare,
 	// in ascending ID order.
@@ -237,6 +262,16 @@ type Result struct {
 	// unchanged-round cache: no new observation arrived since an earlier
 	// round with the same window end, so the detection outcome is reused.
 	Cached bool
+	// PairsCompared counts the pairs whose DTW distance was computed in
+	// full this round (including pairs the extremes repair recomputed);
+	// PairsPrunedLB the pairs resolved by a lower bound — the LB_Keogh
+	// envelope or the banded DP's early-abandoned prefix minimum;
+	// PairsReusedDirty the pairs answered from the monitor's dirty-pair
+	// cache. The three always sum to len(Pairs), except on Cached
+	// rounds, which did no compare work and report zeros.
+	PairsCompared    int
+	PairsPrunedLB    int
+	PairsReusedDirty int
 }
 
 // roundScratch is one detection round's reusable working memory. A pooled
@@ -253,7 +288,29 @@ type roundScratch struct {
 	norm       []float64
 	med        []float64 // median-filter scratch (sorted in place)
 	noise      stats.AR1NoiseEstimator
+	// Compare-phase pruning state: how each pair was resolved, the
+	// LB_Keogh envelope arena (two slices per identity into envVals),
+	// and the branch-and-bound working set (pair order + upper bounds).
+	state   []uint8
+	envR    int
+	envVals []float64
+	envLo   [][]float64
+	envHi   [][]float64
+	order   []int32
+	ubs     []float64
 }
+
+// Pair resolution states, recorded per pair in roundScratch.state. The
+// counters on Result are a post-round scan of these, which keeps the
+// parallel claim loop free of shared accounting.
+const (
+	statePending   uint8 = iota // not resolved yet
+	stateReused                 // outcome served by the dirty-pair cache
+	stateExact                  // full DTW computed this round
+	statePruned                 // skipped on the LB_Keogh lower bound
+	stateAbandoned              // DP scan abandoned once its prefix bound cleared the cap
+	stateRepaired               // recomputed exactly by the extremes repair (not cached)
+)
 
 var scratchPool = sync.Pool{New: func() any { return new(roundScratch) }}
 
@@ -263,6 +320,12 @@ var scratchPool = sync.Pool{New: func() any { return new(roundScratch) }}
 // result: with a single pair the min-max normalization of Equation 8 is
 // degenerate (the lone distance maps to 0 and would always be flagged).
 func (d *Detector) Detect(series map[vanet.NodeID]*timeseries.Series, density float64) (*Result, error) {
+	return d.detect(series, density, nil)
+}
+
+// detect is Detect plus an optional dirty-pair memo (monitor rounds pass
+// their cache; bare rounds pass nil).
+func (d *Detector) detect(series map[vanet.NodeID]*timeseries.Series, density float64, memo *pairMemo) (*Result, error) {
 	if density < 0 {
 		return nil, errors.New("core: negative density")
 	}
@@ -344,11 +407,21 @@ func (d *Detector) Detect(series map[vanet.NodeID]*timeseries.Series, density fl
 		obsv.ObserveStage(StageNormalize, now.Sub(stageStart))
 		stageStart = now
 	}
-	pairs, err := d.comparePairs(sc)
+	pairs, err := d.comparePairs(sc, memo)
 	if err != nil {
 		return nil, err
 	}
 	res.Pairs = pairs
+	for k := range pairs {
+		switch sc.state[k] {
+		case stateExact, stateRepaired:
+			res.PairsCompared++
+		case statePruned, stateAbandoned:
+			res.PairsPrunedLB++
+		case stateReused:
+			res.PairsReusedDirty++
+		}
+	}
 	sc.raws = sc.raws[:0]
 	for _, p := range pairs {
 		sc.raws = append(sc.raws, p.Raw)
@@ -405,77 +478,421 @@ func (d *Detector) Detect(series map[vanet.NodeID]*timeseries.Series, density fl
 	return res, nil
 }
 
-// comparePairs runs the pairwise FastDTW loop over every {i < j} pair of
-// sc.ids, fanned out across Workers goroutines. Pairs are enumerated in
-// the usual nested-loop order and each goroutine writes only its
-// preassigned slots on its own dtw.Workspace, so the returned slice is
-// deterministic (identical to the sequential loop) at any worker count
-// and any pool state.
-func (d *Detector) comparePairs(sc *roundScratch) ([]PairDistance, error) {
+// comparePairs resolves every {i < j} pair of sc.ids, fanned out across
+// Workers goroutines. Pairs are enumerated in the usual nested-loop
+// order and each goroutine writes only its preassigned slots on its own
+// dtw.Workspace, so the returned slice is deterministic (identical to
+// the sequential loop) at any worker count, any pool state, and —
+// because pruning decisions precede cache lookups — any memo warmth.
+func (d *Detector) comparePairs(sc *roundScratch, memo *pairMemo) ([]PairDistance, error) {
 	n := len(sc.ids)
-	pairs := make([]PairDistance, 0, n*(n-1)/2)
+	np := n * (n - 1) / 2
+	// The pair slice escapes inside the Result, so it cannot live in the
+	// global scratch pool; monitor rounds reuse their memo's buffer
+	// (Result.Pairs documents the lifetime), bare rounds allocate.
+	var pairs []PairDistance
+	if memo != nil {
+		if cap(memo.pairs) < np {
+			memo.pairs = make([]PairDistance, 0, np)
+		}
+		pairs = memo.pairs[:0]
+	} else {
+		pairs = make([]PairDistance, 0, np)
+	}
 	sc.pairIdx = sc.pairIdx[:0]
+	if cap(sc.state) < np {
+		sc.state = make([]uint8, np)
+	}
+	sc.state = sc.state[:np]
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			pd := PairDistance{A: sc.ids[i], B: sc.ids[j]}
 			if d.cfg.AdaptiveCapKappa > 0 {
 				pd.NoiseCap = d.cfg.AdaptiveCapKappa * (sc.noiseVar[i] + sc.noiseVar[j])
 			}
+			sc.state[len(pairs)] = statePending
 			pairs = append(pairs, pd)
 			sc.pairIdx = append(sc.pairIdx, [2]int32{int32(i), int32(j)})
+		}
+	}
+	if memo != nil {
+		memo.pairs = pairs
+	}
+	// Pruning needs a Sakoe-Chiba band (the envelope radius derives from
+	// it; the unconstrained-FastDTW ablation has no usable band) and at
+	// least one configured raw cap to prune against.
+	prune := d.cfg.LBPrune && d.cfg.BandRadius >= 0 &&
+		(d.cfg.AdaptiveCapKappa > 0 || d.cfg.AbsoluteRawCap > 0)
+	if prune {
+		if err := d.fillEnvelopes(sc); err != nil {
+			return nil, err
 		}
 	}
 	workers := d.cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(pairs) {
-		workers = len(pairs)
+	if workers > np {
+		workers = np
 	}
 	// A detection round over a handful of neighbors finishes in
 	// microseconds; goroutine fan-out only pays for itself on bigger
 	// rounds.
-	if workers <= 1 || len(pairs) < 16 {
+	if workers <= 1 || np < 16 {
 		ws := dtw.GetWorkspace()
 		defer dtw.PutWorkspace(ws)
 		for k := range pairs {
-			ij := sc.pairIdx[k]
-			if err := d.comparePairAt(ws, &pairs[k], sc.normalized[ij[0]], sc.normalized[ij[1]]); err != nil {
+			if err := d.resolvePair(ws, sc, pairs, k, prune, memo); err != nil {
 				return nil, err
 			}
 		}
-		return pairs, nil
+	} else {
+		var (
+			next     atomic.Int64
+			wg       sync.WaitGroup
+			errOnce  sync.Once
+			firstErr error
+			abort    atomic.Bool
+		)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				ws := dtw.GetWorkspace()
+				defer dtw.PutWorkspace(ws)
+				for !abort.Load() {
+					k := int(next.Add(1)) - 1
+					if k >= np {
+						return
+					}
+					if err := d.resolvePair(ws, sc, pairs, k, prune, memo); err != nil {
+						// Record the first error and stop the whole pool:
+						// without the abort flag every worker would grind
+						// through its share of the remaining pairs before
+						// the round could report the failure.
+						errOnce.Do(func() { firstErr = err })
+						abort.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
 	}
-	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			ws := dtw.GetWorkspace()
-			defer dtw.PutWorkspace(ws)
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= len(pairs) {
-					return
-				}
-				ij := sc.pairIdx[k]
-				if err := d.comparePairAt(ws, &pairs[k], sc.normalized[ij[0]], sc.normalized[ij[1]]); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
+	if prune {
+		if err := d.restoreBatchExtremes(sc, pairs, memo); err != nil {
+			return nil, err
+		}
+	}
+	if memo != nil {
+		// Cache write-back: only outcomes that are pure functions of the
+		// two views — exact raws and early-abandoned prefix bounds.
+		// LB_Keogh bounds are round-local (the envelope radius depends on
+		// the round's length spread) and would not reproduce; pairs the
+		// extremes repair recomputed depend on the whole batch and are
+		// not written back, so a cold cache replays the identical repair.
+		// Reused entries are already stored.
+		for k := range pairs {
+			switch sc.state[k] {
+			case stateExact:
+				memo.storeResolved(pairs[k].A, pairs[k].B, pairs[k].Raw, false)
+			case stateAbandoned:
+				memo.storeResolved(pairs[k].A, pairs[k].B, pairs[k].Raw, true)
 			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+		}
 	}
 	return pairs, nil
+}
+
+// fillEnvelopes computes the LB_Keogh envelope of every normalized
+// series into the round arena. One radius serves the whole round: it
+// must cover every cell a band of BandRadius may visit against any
+// partner (dtw.LBKeogh's admissibility contract asks for the band
+// radius plus the length difference plus two), so the round's widest
+// length spread is used — wider envelopes only weaken bounds, never
+// break them.
+func (d *Detector) fillEnvelopes(sc *roundScratch) error {
+	minLen, maxLen := 0, 0
+	for i, z := range sc.normalized {
+		if i == 0 || len(z) < minLen {
+			minLen = len(z)
+		}
+		if len(z) > maxLen {
+			maxLen = len(z)
+		}
+	}
+	// Round the radius up to a bucket boundary: a wider envelope is
+	// still admissible, and a radius that holds still while the round's
+	// length spread drifts inside the bucket keeps the cached LB_Keogh
+	// bounds (keyed by this radius) valid across rounds.
+	envR := d.cfg.BandRadius + (maxLen - minLen) + 2
+	envR = (envR + 7) &^ 7
+	sc.envR = envR
+	need := 2 * len(sc.vals)
+	if cap(sc.envVals) < need {
+		sc.envVals = make([]float64, need)
+	}
+	sc.envVals = sc.envVals[:need]
+	sc.envLo = sc.envLo[:0]
+	sc.envHi = sc.envHi[:0]
+	ws := dtw.GetWorkspace()
+	defer dtw.PutWorkspace(ws)
+	off := 0
+	for _, z := range sc.normalized {
+		m := len(z)
+		lo := sc.envVals[off : off+m : off+m]
+		off += m
+		hi := sc.envVals[off : off+m : off+m]
+		off += m
+		lo, hi, err := ws.EnvelopeInto(lo, hi, z, envR)
+		if err != nil {
+			return fmt.Errorf("core: envelope: %w", err)
+		}
+		sc.envLo = append(sc.envLo, lo)
+		sc.envHi = append(sc.envHi, hi)
+	}
+	return nil
+}
+
+// resolvePair resolves pair k: prune on the LB_Keogh bound when it
+// already exceeds every cap the pair would need to pass, else serve the
+// cached outcome from the dirty-pair cache, else run the banded DP with
+// early abandoning against the same cap (falling back to the plain
+// comparison when pruning is off or no cap governs the pair). The
+// LB pruning decision comes before the cache lookup on purpose — it
+// depends only on the round's inputs, so Results never vary with cache
+// warmth; the abandon outcome is a pure function of the two views and
+// their cap, so caching it preserves the same property.
+func (d *Detector) resolvePair(ws *dtw.Workspace, sc *roundScratch, pairs []PairDistance, k int, prune bool, memo *pairMemo) error {
+	ij := sc.pairIdx[k]
+	a, b := sc.normalized[ij[0]], sc.normalized[ij[1]]
+	p := &pairs[k]
+	// The prune threshold mirrors the confirmation phase's cap checks.
+	// When the adaptive cap governs the pair it is the only admissible
+	// threshold: pruning on the fixed cap alone would store a bound that
+	// breaks the degenerate-round check, which compares every Raw
+	// against its NoiseCap.
+	t := math.Inf(1)
+	if prune {
+		if d.cfg.AdaptiveCapKappa > 0 && p.NoiseCap > 0 {
+			t = p.NoiseCap
+		} else if d.cfg.AbsoluteRawCap > 0 {
+			t = d.cfg.AbsoluteRawCap
+		}
+	}
+	if prune {
+		lb, cached := 0.0, false
+		if memo != nil {
+			lb, cached = memo.lookupLB(p.A, p.B, sc.envR)
+		}
+		if !cached {
+			lb = dtw.LBKeogh(a, sc.envLo[ij[1]], sc.envHi[ij[1]])
+			if lb2 := dtw.LBKeogh(b, sc.envLo[ij[0]], sc.envHi[ij[0]]); lb2 > lb {
+				lb = lb2
+			}
+			lb = d.perSample(lb, a, b)
+			if memo != nil {
+				memo.storeLB(p.A, p.B, sc.envR, lb)
+			}
+		}
+		if lb > t {
+			p.Raw = lb
+			p.Pruned = true
+			sc.state[k] = statePruned
+			return nil
+		}
+	}
+	if memo != nil {
+		if raw, pruned, ok := memo.lookup(p.A, p.B); ok {
+			p.Raw = raw
+			p.Pruned = pruned
+			sc.state[k] = stateReused
+			return nil
+		}
+	}
+	if !math.IsInf(t, 1) {
+		raw, abandoned, err := ws.BandedDistanceAbandon(a, b, d.cfg.BandRadius, d.normDiv(a, b), t)
+		if err != nil {
+			return fmt.Errorf("core: compare %d/%d: %w", p.A, p.B, err)
+		}
+		p.Raw = d.perSample(raw, a, b)
+		if abandoned {
+			p.Pruned = true
+			sc.state[k] = stateAbandoned
+		} else {
+			sc.state[k] = stateExact
+		}
+		return nil
+	}
+	if err := d.comparePairAt(ws, p, a, b); err != nil {
+		return err
+	}
+	sc.state[k] = stateExact
+	return nil
+}
+
+// restoreBatchExtremes is the branch-and-bound repair pass that makes
+// pruning invisible to the Equation 8 normalization: it recomputes just
+// enough pruned pairs, in a deterministic order, to guarantee the
+// stored batch minimum and maximum equal the exact run's. The pruned
+// pairs that remain then carry bounds inside [min, max] — their own
+// normalized values are bounds, but they can never be flagged (the
+// bound exceeds their caps) and no longer perturb anyone else's
+// normalization. The pass is skipped when nothing was pruned, or when
+// no exactly-computed pair passes its caps: then no pair can be flagged
+// in either the pruned or the exact run (a pruned pair's true raw is at
+// least its bound, which fails the caps), so normalization differences
+// are unobservable in the verdict.
+func (d *Detector) restoreBatchExtremes(sc *roundScratch, pairs []PairDistance, memo *pairMemo) error {
+	// Candidate selection goes by the Pruned flag, not the resolution
+	// state: a warm cache serves abandoned bounds as stateReused while a
+	// cold round recomputes them as stateAbandoned, and the repair must
+	// pick the same pairs either way.
+	hasPruned, hasAnchor := false, false
+	minE, maxE := math.Inf(1), math.Inf(-1)
+	for k := range pairs {
+		if pairs[k].Pruned {
+			hasPruned = true
+			continue
+		}
+		r := pairs[k].Raw
+		if r < minE {
+			minE = r
+		}
+		if r > maxE {
+			maxE = r
+		}
+		if d.cfg.AbsoluteRawCap > 0 && r > d.cfg.AbsoluteRawCap {
+			continue
+		}
+		if c := pairs[k].NoiseCap; c > 0 && r > c {
+			continue
+		}
+		hasAnchor = true
+	}
+	if !hasPruned || !hasAnchor {
+		return nil
+	}
+	ws := dtw.GetWorkspace()
+	defer dtw.PutWorkspace(ws)
+	// Min repair: visit pruned pairs by ascending lower bound and
+	// recompute while the bound could still undercut the exact minimum.
+	// On exit every remaining pruned pair's true raw (at least its
+	// bound) is at least minE, and minE is attained by a computed pair —
+	// so minE is the exact run's minimum and the stored batch's.
+	sc.order = sc.order[:0]
+	for k := range pairs {
+		if pairs[k].Pruned {
+			sc.order = append(sc.order, int32(k))
+		}
+	}
+	slices.SortFunc(sc.order, func(x, y int32) int {
+		if pairs[x].Raw < pairs[y].Raw {
+			return -1
+		}
+		if pairs[x].Raw > pairs[y].Raw {
+			return 1
+		}
+		return int(x) - int(y)
+	})
+	for _, k := range sc.order {
+		if !(pairs[k].Raw < minE) {
+			break
+		}
+		if err := d.unprune(ws, sc, pairs, int(k), memo, &minE, &maxE); err != nil {
+			return err
+		}
+	}
+	// Max repair: a surviving bound can also exceed the exact maximum
+	// and stretch the normalization. The staircase upper bound caps each
+	// remaining pruned pair's true raw; visiting by descending upper
+	// bound and recomputing while it exceeds maxE leaves every remaining
+	// pair (bound and true raw alike) at or below maxE, with maxE
+	// attained by a computed pair.
+	sc.order = sc.order[:0]
+	for k := range pairs {
+		if pairs[k].Pruned {
+			sc.order = append(sc.order, int32(k))
+		}
+	}
+	if cap(sc.ubs) < len(pairs) {
+		sc.ubs = make([]float64, len(pairs))
+	}
+	sc.ubs = sc.ubs[:len(pairs)]
+	for _, k := range sc.order {
+		if memo != nil {
+			if ub, ok := memo.lookupUB(pairs[k].A, pairs[k].B); ok {
+				sc.ubs[k] = ub
+				continue
+			}
+		}
+		ij := sc.pairIdx[k]
+		a, b := sc.normalized[ij[0]], sc.normalized[ij[1]]
+		ub, err := dtw.BandPathUpperBound(a, b, d.cfg.BandRadius)
+		if err != nil {
+			return fmt.Errorf("core: upper bound %d/%d: %w", pairs[k].A, pairs[k].B, err)
+		}
+		sc.ubs[k] = d.perSample(ub, a, b)
+		if memo != nil {
+			memo.storeUB(pairs[k].A, pairs[k].B, sc.ubs[k])
+		}
+	}
+	slices.SortFunc(sc.order, func(x, y int32) int {
+		if sc.ubs[x] > sc.ubs[y] {
+			return -1
+		}
+		if sc.ubs[x] < sc.ubs[y] {
+			return 1
+		}
+		return int(x) - int(y)
+	})
+	for _, k := range sc.order {
+		if !(sc.ubs[k] > maxE) {
+			break
+		}
+		if err := d.unprune(ws, sc, pairs, int(k), memo, &minE, &maxE); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unprune recomputes one pruned pair exactly and folds it into the
+// running batch extremes.
+func (d *Detector) unprune(ws *dtw.Workspace, sc *roundScratch, pairs []PairDistance, k int, memo *pairMemo, minE, maxE *float64) error {
+	ij := sc.pairIdx[k]
+	p := &pairs[k]
+	// The repair's exact value is warmth-independent either way: a cached
+	// hit replays the value a cold repair computes bit for bit, and the
+	// repair's choice of pairs was already settled by the (warmth-
+	// identical) pre-repair batch. Only the cost changes — a steady-state
+	// round repairs the recurring extreme pairs by lookup, not by DP.
+	if memo != nil {
+		if exact, ok := memo.lookupExact(p.A, p.B); ok {
+			p.Raw = exact
+		} else {
+			if err := d.comparePairAt(ws, p, sc.normalized[ij[0]], sc.normalized[ij[1]]); err != nil {
+				return err
+			}
+			memo.storeExact(p.A, p.B, p.Raw)
+		}
+	} else {
+		if err := d.comparePairAt(ws, p, sc.normalized[ij[0]], sc.normalized[ij[1]]); err != nil {
+			return err
+		}
+	}
+	p.Pruned = false
+	sc.state[k] = stateRepaired
+	if p.Raw < *minE {
+		*minE = p.Raw
+	}
+	if p.Raw > *maxE {
+		*maxE = p.Raw
+	}
+	return nil
 }
 
 // comparePairAt fills in one pair's raw distance in place, comparing the
@@ -485,15 +902,30 @@ func (d *Detector) comparePairAt(ws *dtw.Workspace, pd *PairDistance, a, b []flo
 	if err != nil {
 		return fmt.Errorf("core: compare %d/%d: %w", pd.A, pd.B, err)
 	}
-	if !d.cfg.DisableLengthNormalization {
-		n := len(a)
-		if len(b) > n {
-			n = len(b)
-		}
-		raw /= float64(n)
-	}
-	pd.Raw = raw
+	pd.Raw = d.perSample(raw, a, b)
 	return nil
+}
+
+// perSample converts an accumulated warp cost to the per-sample scale
+// the caps and Equation 8 operate on (a no-op when length normalization
+// is disabled). Bounds must go through the same scaling as distances or
+// the pruning comparisons would mix scales.
+func (d *Detector) perSample(v float64, a, b []float64) float64 {
+	return v / d.normDiv(a, b)
+}
+
+// normDiv is the per-sample scaling divisor perSample applies; the
+// early-abandoning DP takes it explicitly so its in-kernel cutoff
+// comparison uses the identical division.
+func (d *Detector) normDiv(a, b []float64) float64 {
+	if d.cfg.DisableLengthNormalization {
+		return 1
+	}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	return float64(n)
 }
 
 // compare measures one pair: banded DTW by default, unconstrained

@@ -45,6 +45,16 @@ type Monitor struct {
 	// round's window end it fingerprints the detector input, so a round
 	// whose fingerprint matches the previous one can reuse its Result.
 	version uint64
+	// obsVer records, per identity, the version of its last accepted
+	// observation. Version is monotone across evictions, so an identity
+	// that is evicted and reappears can never repeat an old value —
+	// which makes obsVer the per-identity half of the dirty-pair cache's
+	// fingerprints (see pairMemo).
+	obsVer map[vanet.NodeID]uint64
+	// memo is the dirty-pair cache: exact pairwise raw distances keyed by
+	// the two identities' window-view fingerprints, reused for pairs
+	// provably unchanged since the previous round. nil when disabled.
+	memo *pairMemo
 	// input, views and heard are reused across rounds: input is the map
 	// handed to the detector, views holds one zero-copy window header per
 	// tracked identity, heard collects the ids seen this window.
@@ -79,6 +89,12 @@ type MonitorConfig struct {
 	// a few beacon intervals so slightly late deliveries do not poison
 	// the stream.
 	ReorderTolerance time.Duration
+	// DisablePairCache turns off the dirty-pair cache, forcing every
+	// round to recompute all pairwise distances. Results are byte-
+	// identical either way (the cache stores only exact values and never
+	// influences pruning); the knob exists for memory-constrained
+	// deployments and for the equivalence tests that prove that claim.
+	DisablePairCache bool
 }
 
 // NewMonitor builds a Monitor.
@@ -117,7 +133,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if tolerance < 0 {
 		tolerance = 0
 	}
-	return &Monitor{
+	m := &Monitor{
 		det:        det,
 		estimator:  est,
 		confirmer:  conf,
@@ -127,7 +143,12 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 		tolerance:  tolerance,
 		series:     make(map[vanet.NodeID]*timeseries.Series),
 		lastObs:    make(map[vanet.NodeID]time.Duration),
-	}, nil
+		obsVer:     make(map[vanet.NodeID]uint64),
+	}
+	if !cfg.DisablePairCache {
+		m.memo = newPairMemo()
+	}
+	return m, nil
 }
 
 // ErrTimeBackwards is returned when observations regress in time.
@@ -191,6 +212,7 @@ func (m *Monitor) observeLocked(id vanet.NodeID, t time.Duration, rssi float64, 
 	}
 	m.lastObs[id] = t
 	m.version++
+	m.obsVer[id] = m.version
 	return nil
 }
 
@@ -237,6 +259,9 @@ func (m *Monitor) detectAtLocked(end time.Duration) (*Result, error) {
 		m.estimator.Record(cp.Suspects)
 		cp.Confirmed = m.confirmer.Update(cp.Considered, cp.Suspects)
 		cp.Cached = true
+		// The compare-phase tallies describe work the original round did;
+		// this round did none, and schedulers sum the counters per round.
+		cp.PairsCompared, cp.PairsPrunedLB, cp.PairsReusedDirty = 0, 0, 0
 		return &cp, nil
 	}
 	// Window extraction is the round's monitor-side stage; like the
@@ -276,7 +301,10 @@ func (m *Monitor) detectAtLocked(end time.Duration) (*Result, error) {
 	if m.obsv != nil {
 		m.obsv.ObserveStage(StageWindow, time.Since(windowStart))
 	}
-	res, err := m.det.Detect(m.input, density)
+	if m.memo != nil {
+		m.memo.beginRound(m.heard, m.input, m.obsVer)
+	}
+	res, err := m.det.detect(m.input, density, m.memo)
 	if err != nil {
 		return nil, err
 	}
@@ -337,6 +365,10 @@ func (m *Monitor) evictLocked() {
 			delete(m.series, id)
 			delete(m.lastObs, id)
 			delete(m.views, id)
+			delete(m.obsVer, id)
+			if m.memo != nil {
+				m.memo.forget(id)
+			}
 			m.confirmer.Forget(id)
 			m.evicted++
 			m.version++

@@ -14,10 +14,10 @@ import (
 // needs to resume detection after a restart: the monitor clock, the
 // retained per-identity RSSI series, the K-of-N confirmation history and
 // the density estimator's known-Sybil set. It deliberately excludes the
-// unchanged-round cache and the reusable scratch maps — those rebuild on
-// the first round — and the configuration, which the restoring side
-// supplies (state only round-trips between identically configured
-// monitors).
+// unchanged-round cache, the dirty-pair cache and the reusable scratch
+// maps — those rebuild on the first rounds without changing any result —
+// and the configuration, which the restoring side supplies (state only
+// round-trips between identically configured monitors).
 //
 // All slices are sorted by identity so that two captures of the same
 // monitor are byte-identical when serialized: the WAL layer depends on
@@ -119,6 +119,12 @@ func (m *Monitor) RestoreState(st *MonitorState) error {
 		m.series[ident.ID] = s
 		m.lastObs[ident.ID] = ident.LastObs
 		m.version += uint64(len(ident.Samples))
+		// Re-anchor the identity's observation version as if its samples
+		// had streamed in; the dirty-pair cache starts cold either way
+		// (it is not serialized — it rebuilds in one round and storing it
+		// would grow the WAL format for no change in results), but the
+		// fingerprints must be populated for rounds after the restore.
+		m.obsVer[ident.ID] = m.version
 	}
 	for _, c := range st.Confirm {
 		if _, dup := m.confirmer.history[c.ID]; dup {

@@ -1,0 +1,119 @@
+package dtw
+
+import (
+	"fmt"
+	"math"
+)
+
+// abandonStride is how often BandedDistanceAbandon scans a completed DP
+// row for its minimum. The scan costs about as much as computing the row,
+// so checking every row would tax pairs that never abandon; a fixed
+// stride caps that overhead at 1/abandonStride while delaying an abandon
+// by at most abandonStride-1 rows. It is a compile-time constant so
+// abandoned bounds stay a deterministic function of the inputs.
+const abandonStride = 4
+
+// BandedDistanceAbandon computes the same Sakoe-Chiba banded squared-cost
+// DTW distance as BandedDistance, but gives up early when the distance
+// provably exceeds cutoff: every cell cost is non-negative, so the
+// minimum over a completed DP row is a lower bound on every later row
+// and on the final distance. After every abandonStride-th interior row
+// the normalized bound rowMin/norm is compared against cutoff with
+// exactly the division the caller uses to normalize distances; once it
+// exceeds cutoff the final distance must too, and the scan stops.
+//
+// On abandon it returns (rowMin, true, nil) where rowMin is the
+// accumulated (unnormalized) row minimum — an admissible lower bound on
+// the exact banded distance. When the scan completes it returns the
+// exact distance, bit-identical to BandedDistance: the DP loop is the
+// same branch-reduced kernel, and the row-min scan is a separate pass
+// that never touches cell arithmetic. The last row is never checked —
+// at that point the exact distance is already paid for.
+//
+// The result is a pure function of (x, y, radius, norm, cutoff): callers
+// that cache abandoned outcomes can replay them deterministically.
+func (ws *Workspace) BandedDistanceAbandon(x, y []float64, radius int, norm, cutoff float64) (float64, bool, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, false, ErrEmptySeries
+	}
+	if !(norm > 0) {
+		return 0, false, fmt.Errorf("dtw: abandon norm must be positive, got %v", norm)
+	}
+	n, m := len(x), len(y)
+	ws.winLo = growInt(ws.winLo, n)
+	ws.winHi = growInt(ws.winHi, n)
+	ws.win.lo, ws.win.hi = ws.winLo, ws.winHi
+	sakoeChibaFill(&ws.win, m, radius)
+	w := &ws.win
+	if err := w.validate(n, m); err != nil {
+		return 0, false, err
+	}
+
+	ws.offs = growInt(ws.offs, n)
+	size := 0
+	for i := 0; i < n; i++ {
+		ws.offs[i] = size
+		size += w.hi[i] - w.lo[i] + 1
+	}
+	ws.cells = growF64(ws.cells, size)
+	cells, offs := ws.cells, ws.offs
+	checking := !math.IsInf(cutoff, 1)
+	for i := 0; i < n; i++ {
+		lo, hi := w.lo[i], w.hi[i]
+		row := cells[offs[i] : offs[i]+hi-lo+1]
+		xi := x[i]
+		if i == 0 {
+			d := xi - y[0]
+			row[0] = d * d
+			for j := lo + 1; j <= hi; j++ {
+				d = xi - y[j]
+				row[j-lo] = row[j-1-lo] + d*d
+			}
+		} else {
+			plo, phi := w.lo[i-1], w.hi[i-1]
+			prevRow := cells[offs[i-1] : offs[i-1]+phi-plo+1]
+			j := lo
+			for ; j <= hi && (j == lo || j <= plo); j++ {
+				v, ok := sqCell(row, prevRow, lo, plo, j, xi, y[j])
+				if !ok {
+					return 0, false, fmt.Errorf("dtw: window disconnected at cell (%d,%d)", i, j)
+				}
+				row[j-lo] = v
+			}
+			kend := hi
+			if kend > phi {
+				kend = phi
+			}
+			for ; j <= kend; j++ {
+				best := prevRow[j-plo]
+				if v := prevRow[j-1-plo]; v < best {
+					best = v
+				}
+				if v := row[j-1-lo]; v < best {
+					best = v
+				}
+				d := xi - y[j]
+				row[j-lo] = best + d*d
+			}
+			for ; j <= hi; j++ {
+				v, ok := sqCell(row, prevRow, lo, plo, j, xi, y[j])
+				if !ok {
+					return 0, false, fmt.Errorf("dtw: window disconnected at cell (%d,%d)", i, j)
+				}
+				row[j-lo] = v
+			}
+		}
+		if checking && i < n-1 && (i+1)%abandonStride == 0 {
+			rowMin := row[0]
+			for _, v := range row[1:] {
+				if v < rowMin {
+					rowMin = v
+				}
+			}
+			if rowMin/norm > cutoff {
+				return rowMin, true, nil
+			}
+		}
+	}
+	return cells[offs[n-1]+m-1-w.lo[n-1]], false, nil
+}

@@ -78,3 +78,84 @@ func FuzzFastDistanceBounds(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLBKeogh fuzzes the admissibility contracts the compare-phase
+// pruning stands on: with a band-matched envelope the LB_Keogh bound
+// never exceeds the banded distance it prunes for, with a full envelope
+// it never exceeds exact DTW or FastDistance, the staircase upper bound
+// never undercuts the banded distance, and the branch-reduced banded
+// kernel stays bit-identical to the generic SquaredCost loop.
+func FuzzLBKeogh(f *testing.F) {
+	f.Add([]byte{4, 1, 2, 3, 4, 250, 251, 3, 9}, 1)
+	f.Add([]byte{1, 0, 0}, 0)
+	f.Add([]byte{9, 200, 100, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 2)
+	f.Add([]byte{20, 7, 7, 7, 7, 7, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 200, 100, 50}, 5)
+	f.Add([]byte{2, 128, 127, 128, 127, 0, 255}, 3)
+	f.Fuzz(func(t *testing.T, data []byte, radius int) {
+		x, y := decodeSeries(data)
+		if len(x) == 0 || len(y) == 0 {
+			t.Skip()
+		}
+		radius = ((radius % 8) + 8) % 8
+		ws := NewWorkspace()
+		banded, err := ws.BandedDistance(x, y, radius, nil)
+		if err != nil {
+			t.Fatalf("BandedDistance: %v", err)
+		}
+		generic, err := ws.BandedDistance(x, y, radius, SquaredCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if banded != generic {
+			t.Fatalf("banded kernel %x != generic loop %x (n=%d m=%d r=%d)",
+				banded, generic, len(x), len(y), radius)
+		}
+		envR := lbEnvelopeRadius(radius, len(x), len(y))
+		loY, hiY, err := ws.EnvelopeInto(nil, nil, y, envR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loX, hiX, err := ws.EnvelopeInto(nil, nil, x, envR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := LBKeogh(x, loY, hiY)
+		if lb2 := LBKeogh(y, loX, hiX); lb2 > lb {
+			lb = lb2
+		}
+		if math.IsNaN(lb) || math.IsInf(lb, 0) || lb < 0 {
+			t.Fatalf("LBKeogh = %v", lb)
+		}
+		if lb > banded {
+			t.Fatalf("LB %x exceeds banded %x (n=%d m=%d r=%d)", lb, banded, len(x), len(y), radius)
+		}
+		ub, err := BandPathUpperBound(x, y, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ub < banded {
+			t.Fatalf("upper bound %x undercuts banded %x (n=%d m=%d r=%d)", ub, banded, len(x), len(y), radius)
+		}
+		// Full envelope: admissible for exact DTW and (therefore) for
+		// FastDistance, whose result never undercuts exact.
+		loY, hiY, err = ws.EnvelopeInto(loY, hiY, y, len(y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := LBKeogh(x, loY, hiY)
+		exact, err := Distance(x, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full > exact {
+			t.Fatalf("full-envelope LB %x exceeds exact %x", full, exact)
+		}
+		fast, err := FastDistance(x, y, radius, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full > fast {
+			t.Fatalf("full-envelope LB %x exceeds FastDistance %x", full, fast)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package dtw
+
+// Lower and upper bounds for banded DTW, the machinery behind the
+// detector's compare-phase pruning: a pair whose cheap O(n) lower bound
+// already exceeds every cap it could pass skips the O(n·radius) DP
+// entirely, and a cheap upper bound lets the detector restore the exact
+// batch maximum without computing every pruned pair (see
+// internal/core's comparePairs and DESIGN §10).
+
+// EnvelopeInto fills lower and upper with the running minimum and
+// maximum of x over the centered window [i-radius, i+radius] (clamped
+// to the series), reusing the provided buffers when they have capacity
+// (growF64 semantics: contents are overwritten). A negative radius is
+// treated as zero.
+//
+// The envelope is the LB_Keogh warping corridor: when the window covers
+// every band cell a DTW variant may visit (see LBKeogh for the exact
+// coverage contract), the squared distance from a point to the corridor
+// lower-bounds the squared cost of every alignment the DP could choose.
+// The sliding extrema run in O(n) via a monotone index deque held in
+// workspace scratch.
+func (ws *Workspace) EnvelopeInto(lower, upper []float64, x []float64, radius int) ([]float64, []float64, error) {
+	n := len(x)
+	if n == 0 {
+		return lower, upper, ErrEmptySeries
+	}
+	if radius < 0 {
+		radius = 0
+	}
+	lower = growF64(lower, n)
+	upper = growF64(upper, n)
+	ws.deq = growInt(ws.deq, n)
+	slidingExtrema(lower, x, radius, ws.deq, false)
+	slidingExtrema(upper, x, radius, ws.deq, true)
+	return lower, upper, nil
+}
+
+// slidingExtrema writes dst[i] = min (maxMode: max) of x over
+// [i-radius, i+radius] clamped to the series, using deq (len(x)-sized)
+// as the monotone index deque. Each index enters and leaves the deque
+// at most once, so the whole pass is O(n).
+func slidingExtrema(dst, x []float64, radius int, deq []int, maxMode bool) {
+	n := len(x)
+	head, tail := 0, 0 // deq[head:tail] holds candidate indices
+	e := 0             // next index to admit into the window
+	for i := 0; i < n; i++ {
+		limit := i + radius
+		if limit > n-1 {
+			limit = n - 1
+		}
+		for ; e <= limit; e++ {
+			if maxMode {
+				for tail > head && x[deq[tail-1]] <= x[e] {
+					tail--
+				}
+			} else {
+				for tail > head && x[deq[tail-1]] >= x[e] {
+					tail--
+				}
+			}
+			deq[tail] = e
+			tail++
+		}
+		// The window start advances by one per row, so at most one front
+		// index can have gone stale since the previous row.
+		if deq[head] < i-radius {
+			head++
+		}
+		dst[i] = x[deq[head]]
+	}
+}
+
+// LBKeogh returns the LB_Keogh lower bound of x against the envelope
+// (lower, upper) of another series y: the sum of squared distances from
+// each x[i] to the interval [lower[k], upper[k]], k = min(i, len(y)-1).
+//
+// Admissibility contract: the bound is a true lower bound of a
+// windowed squared-cost DTW distance whenever, for every window cell
+// (i, j), column j lies inside y's envelope window at row k — i.e. the
+// envelope radius covers the warping the window admits. For the
+// Sakoe-Chiba bands built by sakoeChibaFill (band radius r over an
+// n-by-m matrix) a envelope radius of r + (maxLen-minLen) + 2 is always
+// sufficient: the band center i*(m-1)/(n-1) never strays more than
+// |n-m|+1 columns from the row index, and makeContiguous widens a row
+// by at most one column past its neighbor's range. An envelope over the
+// full series (radius >= len(y)) covers every window, including the
+// data-dependent ones FastDTW projects, so the bound then holds for
+// unconstrained DTW and FastDistance too (FuzzLBKeogh pins both
+// contracts).
+//
+// Wider envelopes stay admissible — they only weaken the bound — and an
+// empty x returns 0, the trivial bound. lower and upper must have equal
+// length (they come from one EnvelopeInto call).
+func LBKeogh(x, lower, upper []float64) float64 {
+	m := len(lower)
+	if m == 0 {
+		return 0
+	}
+	var sum float64
+	for i, v := range x {
+		k := i
+		if k >= m {
+			k = m - 1
+		}
+		if d := v - upper[k]; d > 0 {
+			sum += d * d
+		} else if d := lower[k] - v; d > 0 {
+			sum += d * d
+		}
+	}
+	return sum
+}
+
+// BandPathUpperBound returns the squared cost of one concrete warp
+// path admitted by the Sakoe-Chiba band of the given radius: the
+// staircase through the band centers c_i = i*(m-1)/(n-1), with each
+// horizontal run extended far enough in the previous row to honor the
+// band's connectivity-adjusted row starts (it replicates exactly the
+// lo/hi arithmetic of sakoeChibaFill + makeContiguous, so every visited
+// cell is in-window by construction). Being one valid path's cost, the
+// value upper-bounds BandedDistance at the same radius — in floating
+// point too, since the DP's cell values never exceed any single path's
+// running cost accumulated in the same order. For equal lengths it
+// degenerates to the no-warp diagonal (EuclideanSquared).
+func BandPathUpperBound(x, y []float64, radius int) (float64, error) {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return 0, ErrEmptySeries
+	}
+	if radius < 0 {
+		radius = 0
+	}
+	if n == 1 {
+		// Single row: the band is the whole row and the only path walks
+		// it left to right.
+		var sum float64
+		for _, v := range y {
+			d := x[0] - v
+			sum += d * d
+		}
+		return sum, nil
+	}
+	d := x[0] - y[0]
+	sum := d * d
+	cur := 0 // rightmost visited column of the current row
+	loPrev := 0
+	hiPrev := radius
+	if hiPrev > m-1 {
+		hiPrev = m - 1
+	}
+	for i := 1; i < n; i++ {
+		c := i * (m - 1) / (n - 1)
+		// Row i's window bounds, mirroring sakoeChibaFill's clamped
+		// center±radius and makeContiguous's monotone/connectivity fixes.
+		lo := c - radius
+		if lo < 0 {
+			lo = 0
+		}
+		if lo < loPrev {
+			lo = loPrev
+		}
+		if lo > hiPrev+1 {
+			lo = hiPrev + 1
+		}
+		hi := c + radius
+		if hi > m-1 {
+			hi = m - 1
+		}
+		if hi < hiPrev {
+			hi = hiPrev
+		}
+		if lo > hi {
+			lo = hi
+		}
+		// When the band start outruns the previous center, keep walking
+		// the previous row (columns <= hiPrev >= lo-1 by the rules
+		// above) until a diagonal step into (i, lo) is legal.
+		if lo > cur+1 {
+			xp := x[i-1]
+			for j := cur + 1; j < lo; j++ {
+				d = xp - y[j]
+				sum += d * d
+			}
+			cur = lo - 1
+		}
+		xi := x[i]
+		if c == cur {
+			// Vertical step onto the unchanged center.
+			d = xi - y[cur]
+			sum += d * d
+		} else {
+			// Diagonal into the row, then horizontal out to the center.
+			for j := cur + 1; j <= c; j++ {
+				d = xi - y[j]
+				sum += d * d
+			}
+			cur = c
+		}
+		loPrev, hiPrev = lo, hi
+	}
+	return sum, nil
+}

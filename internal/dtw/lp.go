@@ -22,7 +22,7 @@ func LpDistance(x, y []float64, p int) (float64, error) {
 		return 0, ErrLengthMismatch
 	}
 	if p < 1 {
-		return 0, errors.New("dtw: Lp needs p >= 1")
+		return 0, errLpNeedsP
 	}
 	var sum float64
 	for i := range x {
@@ -33,7 +33,12 @@ func LpDistance(x, y []float64, p int) (float64, error) {
 		case 2:
 			sum += d * d
 		default:
-			sum += math.Pow(d, float64(p))
+			// math.Pow is the expensive path; identical points (exact
+			// repeats are common in quantized RSSI logs) contribute
+			// exactly zero for every p, so skip them.
+			if d > 0 {
+				sum += math.Pow(d, float64(p))
+			}
 		}
 	}
 	switch p {
@@ -49,6 +54,11 @@ func LpDistance(x, y []float64, p int) (float64, error) {
 // ErrLengthMismatch is returned by LpDistance for ragged inputs — the
 // failure mode DTW exists to avoid.
 var ErrLengthMismatch = errors.New("dtw: Lp distance requires equal lengths")
+
+// errLpNeedsP is precomputed so the p-validation path does not allocate
+// a fresh error value on every call (the ablation sweeps call
+// LpDistance in a tight loop).
+var errLpNeedsP = errors.New("dtw: Lp needs p >= 1")
 
 // EuclideanSquared is the pointwise squared-error sum for equal-length
 // series, the comparison baseline in the distance-measure ablation (it

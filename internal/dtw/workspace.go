@@ -32,6 +32,8 @@ type Workspace struct {
 	lvlX, lvlY   [][]float64
 	sizes        []lvlDims
 	pathA, pathB Path
+	// Monotone index deque behind EnvelopeInto's sliding extrema.
+	deq []int
 }
 
 // lvlDims is one FastDTW pyramid level's series lengths.
@@ -189,51 +191,104 @@ func (ws *Workspace) constrained(x, y []float64, w *Window, cost CostFunc, wantP
 		return cells[offs[i]+j-w.lo[i]]
 	}
 	inf := math.Inf(1)
-	useSquared := cost == nil
-	for i := 0; i < n; i++ {
-		lo, hi := w.lo[i], w.hi[i]
-		row := cells[offs[i] : offs[i]+hi-lo+1]
-		var prevRow []float64
-		plo := 0
-		if i > 0 {
-			plo = w.lo[i-1]
-			prevRow = cells[offs[i-1] : offs[i-1]+w.hi[i-1]-plo+1]
-		}
-		xi := x[i]
-		for j := lo; j <= hi; j++ {
-			var c float64
-			if useSquared {
-				d := xi - y[j]
-				c = d * d
-			} else {
-				c = cost(xi, y[j])
-			}
-			if i == 0 && j == 0 {
-				row[0] = c
+	if cost == nil {
+		// Squared-cost fast path: the detector's hot loop. Each row
+		// splits into a bounds-checked head and tail (cells missing one
+		// of the three predecessors) and a branch-reduced interior
+		// kernel where up, diagonal and left all provably exist — no
+		// bounds checks, no disconnection test (the up neighbor is a
+		// computed, finite cell). The min-comparison order matches the
+		// generic loop exactly, so distances stay bit-identical.
+		for i := 0; i < n; i++ {
+			lo, hi := w.lo[i], w.hi[i]
+			row := cells[offs[i] : offs[i]+hi-lo+1]
+			xi := x[i]
+			if i == 0 {
+				d := xi - y[0]
+				row[0] = d * d
+				for j := lo + 1; j <= hi; j++ {
+					d = xi - y[j]
+					row[j-lo] = row[j-1-lo] + d*d
+				}
 				continue
 			}
-			best := inf
-			if prevRow != nil {
-				if k := j - plo; k >= 0 && k < len(prevRow) {
-					if v := prevRow[k]; v < best {
-						best = v
-					}
+			plo, phi := w.lo[i-1], w.hi[i-1]
+			prevRow := cells[offs[i-1] : offs[i-1]+phi-plo+1]
+			j := lo
+			// Head: first cell of the row (no left neighbor) and cells at
+			// or below the previous row's window start (no diagonal).
+			for ; j <= hi && (j == lo || j <= plo); j++ {
+				v, ok := sqCell(row, prevRow, lo, plo, j, xi, y[j])
+				if !ok {
+					return 0, nil, fmt.Errorf("dtw: window disconnected at cell (%d,%d)", i, j)
 				}
-				if k := j - 1 - plo; k >= 0 && k < len(prevRow) {
-					if v := prevRow[k]; v < best {
-						best = v
-					}
-				}
+				row[j-lo] = v
 			}
-			if j-1 >= lo {
+			// Interior kernel: j in [max(lo,plo)+1, min(hi,phi)].
+			kend := hi
+			if kend > phi {
+				kend = phi
+			}
+			for ; j <= kend; j++ {
+				best := prevRow[j-plo]
+				if v := prevRow[j-1-plo]; v < best {
+					best = v
+				}
 				if v := row[j-1-lo]; v < best {
 					best = v
 				}
+				d := xi - y[j]
+				row[j-lo] = best + d*d
 			}
-			if math.IsInf(best, 1) {
-				return 0, nil, fmt.Errorf("dtw: window disconnected at cell (%d,%d)", i, j)
+			// Tail: cells past the previous row's window end.
+			for ; j <= hi; j++ {
+				v, ok := sqCell(row, prevRow, lo, plo, j, xi, y[j])
+				if !ok {
+					return 0, nil, fmt.Errorf("dtw: window disconnected at cell (%d,%d)", i, j)
+				}
+				row[j-lo] = v
 			}
-			row[j-lo] = c + best
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			lo, hi := w.lo[i], w.hi[i]
+			row := cells[offs[i] : offs[i]+hi-lo+1]
+			var prevRow []float64
+			plo := 0
+			if i > 0 {
+				plo = w.lo[i-1]
+				prevRow = cells[offs[i-1] : offs[i-1]+w.hi[i-1]-plo+1]
+			}
+			xi := x[i]
+			for j := lo; j <= hi; j++ {
+				c := cost(xi, y[j])
+				if i == 0 && j == 0 {
+					row[0] = c
+					continue
+				}
+				best := inf
+				if prevRow != nil {
+					if k := j - plo; k >= 0 && k < len(prevRow) {
+						if v := prevRow[k]; v < best {
+							best = v
+						}
+					}
+					if k := j - 1 - plo; k >= 0 && k < len(prevRow) {
+						if v := prevRow[k]; v < best {
+							best = v
+						}
+					}
+				}
+				if j-1 >= lo {
+					if v := row[j-1-lo]; v < best {
+						best = v
+					}
+				}
+				if math.IsInf(best, 1) {
+					return 0, nil, fmt.Errorf("dtw: window disconnected at cell (%d,%d)", i, j)
+				}
+				row[j-lo] = c + best
+			}
 		}
 	}
 	total := get(n-1, m-1)
@@ -267,6 +322,38 @@ func (ws *Workspace) constrained(x, y []float64, w *Window, cost CostFunc, wantP
 		path[a], path[b] = path[b], path[a]
 	}
 	return total, path, nil
+}
+
+// sqCell computes one squared-cost windowed-DP cell with full bounds
+// checks — the fallback for row head/tail cells where a predecessor may
+// be missing; ok is false when none is reachable (disconnected window).
+// The min-comparison order (up, diagonal, left; strict <) matches the
+// interior kernel and the generic cost-func loop, keeping all three
+// bit-identical.
+func sqCell(row, prevRow []float64, lo, plo, j int, xi, yj float64) (float64, bool) {
+	best := math.Inf(1)
+	if prevRow != nil {
+		if k := j - plo; k >= 0 && k < len(prevRow) {
+			if v := prevRow[k]; v < best {
+				best = v
+			}
+		}
+		if k := j - 1 - plo; k >= 0 && k < len(prevRow) {
+			if v := prevRow[k]; v < best {
+				best = v
+			}
+		}
+	}
+	if j-1 >= lo {
+		if v := row[j-1-lo]; v < best {
+			best = v
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	d := xi - yj
+	return best + d*d, true
 }
 
 // fullPath computes the exact DTW distance and optimal warp path over

@@ -71,6 +71,13 @@ type Metrics struct {
 	RoundsSkippedUnchanged obs.Counter
 	// SuspectsFlagged counts identity flags summed over rounds.
 	SuspectsFlagged obs.Counter
+	// PairsCompared counts pairwise comparisons resolved by a full DTW
+	// computation; PairsPrunedLB those skipped on the LB_Keogh lower
+	// bound; PairsReusedDirty those served by the dirty-pair cache.
+	// Together they sum to the pairs enumerated over all non-cached
+	// rounds — the prune and reuse rates are these counters over that
+	// sum, the compare phase's cost model in one scrape.
+	PairsCompared, PairsPrunedLB, PairsReusedDirty obs.Counter
 	// WALAppends counts records journaled to the write-ahead log;
 	// WALAppendErrors counts appends that failed (the in-memory apply
 	// proceeds regardless — availability over durability).
@@ -142,6 +149,9 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"rounds_coalesced_total":         m.RoundsCoalesced.Load(),
 		"rounds_skipped_unchanged_total": m.RoundsSkippedUnchanged.Load(),
 		"suspects_flagged_total":         m.SuspectsFlagged.Load(),
+		"pairs_compared_total":           m.PairsCompared.Load(),
+		"pairs_pruned_lb_total":          m.PairsPrunedLB.Load(),
+		"pairs_reused_dirty_total":       m.PairsReusedDirty.Load(),
 		"round_latency_ns_total":         m.RoundLatencyNs.Load(),
 		"connections_opened_total":       m.ConnsOpened.Load(),
 		"connections_closed_total":       m.ConnsClosed.Load(),
@@ -212,6 +222,9 @@ func (m *Metrics) Instruments(reg *Registry) *obs.Registry {
 	r.Counter("rounds_coalesced_total", "Scheduled rounds skipped because the previous round was in flight.", &m.RoundsCoalesced)
 	r.Counter("rounds_skipped_unchanged_total", "Rounds served from the unchanged-round cache.", &m.RoundsSkippedUnchanged)
 	r.Counter("suspects_flagged_total", "Identity flags summed over rounds.", &m.SuspectsFlagged)
+	r.Counter("pairs_compared_total", "Pairwise comparisons resolved by a full DTW computation.", &m.PairsCompared)
+	r.Counter("pairs_pruned_lb_total", "Pairwise comparisons skipped on the LB_Keogh lower bound.", &m.PairsPrunedLB)
+	r.Counter("pairs_reused_dirty_total", "Pairwise comparisons served by the dirty-pair cache.", &m.PairsReusedDirty)
 	r.Counter("round_latency_ns_total", "Wall-clock nanoseconds summed over rounds; round_latency_ns is the source of truth, divide by rounds_run_total for a mean across all returned rounds.", &m.RoundLatencyNs)
 	r.Counter("connections_opened_total", "Ingest connections accepted.", &m.ConnsOpened)
 	r.Counter("connections_closed_total", "Ingest connections closed.", &m.ConnsClosed)

@@ -39,6 +39,11 @@ func fieldRecords(t *testing.T) []trace.Record {
 
 func chaosServiceConfig() service.Config {
 	det := core.DefaultConfig(lda.Boundary{K: 0.000025, B: 0.0067})
+	// Pruning on, as voiceprintd deploys it: every fixture in this
+	// package compares confirmed sets against pruning-off expectations,
+	// so the whole suite doubles as the end-to-end proof that LB_Keogh
+	// pruning (and the dirty-pair cache under it) never moves a verdict.
+	det.LBPrune = true
 	return service.Config{
 		Registry: service.RegistryConfig{Monitor: core.MonitorConfig{
 			Detector:      det,
