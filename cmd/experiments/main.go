@@ -7,10 +7,17 @@
 //	experiments [-quick] [-seed N] [list|all|<id>...]
 //
 // IDs: fig5, table4, fig6_7, fig9, fig10, fig11a, fig11b, fig13,
-// complexity, fastdtw, ablation-classifier, ablation-detector.
+// complexity, fastdtw, ablation-classifier, ablation-detector,
+// smart-attack, sch-rate, scorecard.
+//
+// scorecard replays the adversarial campaign through a live daemon
+// (fixed seed; -seed does not apply) and supports -scorecard-out to
+// write SCORECARD.json and -scorecard-baseline to gate against a
+// committed baseline (non-zero exit on regression).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +27,15 @@ import (
 	"voiceprint/internal/experiments"
 	"voiceprint/internal/lda"
 	"voiceprint/internal/plot"
+	"voiceprint/internal/scorecard"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced configurations (~1 min total)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	svgDir := flag.String("svg", "", "also write SVG charts (fig10, fig11a/b) into this directory")
+	scorecardOut := flag.String("scorecard-out", "", "scorecard: write SCORECARD.json to this path")
+	scorecardBaseline := flag.String("scorecard-baseline", "", "scorecard: compare against this committed SCORECARD.json and exit non-zero on regression")
 	flag.Parse()
 
 	args := flag.Args()
@@ -35,10 +45,16 @@ func main() {
 			"ablation-classifier", "ablation-detector", "smart-attack", "sch-rate"}
 	}
 	if len(args) == 1 && args[0] == "list" {
-		fmt.Println("table1 fig5 table4 fig6_7 fig9 fig10 fig11a fig11b fig13 complexity fastdtw ablation-classifier ablation-detector smart-attack sch-rate")
+		fmt.Println("table1 fig5 table4 fig6_7 fig9 fig10 fig11a fig11b fig13 complexity fastdtw ablation-classifier ablation-detector smart-attack sch-rate scorecard")
 		return
 	}
-	r := &runner{quick: *quick, seed: *seed, svgDir: *svgDir}
+	r := &runner{
+		quick:             *quick,
+		seed:              *seed,
+		svgDir:            *svgDir,
+		scorecardOut:      *scorecardOut,
+		scorecardBaseline: *scorecardBaseline,
+	}
 	for _, id := range args {
 		start := time.Now()
 		if err := r.run(id); err != nil {
@@ -50,9 +66,11 @@ func main() {
 }
 
 type runner struct {
-	quick  bool
-	seed   int64
-	svgDir string
+	quick             bool
+	seed              int64
+	svgDir            string
+	scorecardOut      string
+	scorecardBaseline string
 
 	// trained artifacts, produced lazily by fig10 and reused downstream.
 	trained *experiments.Fig10Result
@@ -268,6 +286,40 @@ func (r *runner) run(id string) error {
 			return err
 		}
 		fmt.Println(res.Render())
+	case "scorecard":
+		// The adversarial campaign grade: fixed seed and boundary (the
+		// -seed flag deliberately does not apply — the committed
+		// baseline pins scorecard.CampaignSeed).
+		card, err := scorecard.RunAll(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Adversarial scenario scorecard (seed %d, boundary k=%g b=%g)\n\n%s",
+			card.Seed, card.BoundaryK, card.BoundaryB, card.Table())
+		if r.scorecardOut != "" {
+			data, err := card.Encode()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(r.scorecardOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("[wrote %s]\n", r.scorecardOut)
+		}
+		if r.scorecardBaseline != "" {
+			data, err := os.ReadFile(r.scorecardBaseline)
+			if err != nil {
+				return err
+			}
+			baseline, err := scorecard.Decode(data)
+			if err != nil {
+				return err
+			}
+			if err := scorecard.Gate(card, baseline); err != nil {
+				return err
+			}
+			fmt.Printf("[scorecard within tolerances of %s]\n", r.scorecardBaseline)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q (try 'list')", id)
 	}

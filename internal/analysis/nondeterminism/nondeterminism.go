@@ -20,13 +20,17 @@ import (
 
 const observerPkg = "voiceprint/internal/core"
 
-// strictPkgs are the pure detection-math packages: any wall-clock read
-// outside an observer guard is a determinism bug.
+// strictPkgs are the pure detection-math packages — plus the scenario
+// generators, whose traces must be pure functions of the root seed (the
+// committed campaign golden hashes and the scorecard baseline both
+// depend on it): any wall-clock read outside an observer guard is a
+// determinism bug.
 var strictPkgs = []string{
 	"voiceprint/internal/core",
 	"voiceprint/internal/dtw",
 	"voiceprint/internal/stats",
 	"voiceprint/internal/timeseries",
+	"voiceprint/internal/vanet",
 }
 
 // schedulingPkgs run the detection rounds: wall time is legitimate I/O

@@ -15,6 +15,13 @@ func TestSchedulingPackage(t *testing.T) {
 	vettest.Run(t, nondeterminism.Analyzer, "testdata/src/scheduler", "voiceprint/internal/service")
 }
 
+func TestGeneratorPackage(t *testing.T) {
+	// The scenario generators are strict: a campaign trace must be a
+	// pure function of the root seed, or the committed golden hashes
+	// and the scorecard baseline stop reproducing.
+	vettest.Run(t, nondeterminism.Analyzer, "testdata/src/generator", "voiceprint/internal/vanet")
+}
+
 func TestOutOfScopePackage(t *testing.T) {
 	// The same violation-laden fixture must be clean when it is not a
 	// detection-path package: AppliesTo scopes the invariant.

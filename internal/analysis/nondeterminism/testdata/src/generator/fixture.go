@@ -1,0 +1,65 @@
+// Fixture checked as the scenario-generator package (vanet): campaign
+// traces must be pure functions of the root seed — the committed golden
+// hashes and the scorecard baseline both break otherwise. Wall clock,
+// the global generator, and map-order leaks are all determinism bugs
+// here, in the shapes generator code actually takes.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type node struct {
+	ID        int
+	Malicious bool
+}
+
+func seedFromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now on the detection path"
+}
+
+func jitterBeacon(t float64) float64 {
+	return t + rand.Float64()*0.01 // want "math/rand.Float64 draws from the global generator"
+}
+
+func jitterBeaconSeeded(rng *rand.Rand, t float64) float64 {
+	return t + rng.Float64()*0.01 // threaded seeded source: sanctioned
+}
+
+// pickAttackers draws attacker indices from a set: iteration order must
+// not survive into the returned slice.
+func pickAttackers(pool map[int]node) []int {
+	var picked []int
+	for idx, n := range pool { // want "map iteration order feeds picked"
+		if n.Malicious {
+			picked = append(picked, idx)
+		}
+	}
+	return picked
+}
+
+func pickAttackersSorted(pool map[int]node) []int {
+	var picked []int
+	for idx, n := range pool {
+		if n.Malicious {
+			picked = append(picked, idx)
+		}
+	}
+	sort.Ints(picked)
+	return picked
+}
+
+// dealPool hands a Sybil identity pool across radios with a seeded
+// shuffle — the sanctioned way to randomize a handoff schedule.
+func dealPool(rng *rand.Rand, pool []int, radios int) map[int][]int {
+	order := make([]int, len(pool))
+	copy(order, pool)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	deal := make(map[int][]int, radios)
+	for i, id := range order {
+		deal[i%radios] = append(deal[i%radios], id)
+	}
+	return deal
+}

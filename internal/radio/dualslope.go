@@ -66,6 +66,22 @@ var (
 		RefDistance: 1, CriticalDistance: 220,
 		Gamma1: 1.90, Gamma2: 4.00, Sigma1: 2.5, Sigma2: 3.4,
 	}
+	// TunnelParams: not in the paper. A tunnel waveguides near-field
+	// propagation (sub-free-space exponent over a long LOS run) and then
+	// decays sharply past the guiding region, with heavy multipath
+	// scatter off walls raising the shadowing deviation throughout —
+	// the adversarial-campaign "hard environment" for an RSSI detector.
+	TunnelParams = DualSlopeParams{
+		RefDistance: 1, CriticalDistance: 300,
+		Gamma1: 1.40, Gamma2: 6.50, Sigma1: 4.5, Sigma2: 6.0,
+	}
+	// UrbanCanyonParams: not in the paper. Street-canyon NLOS with an
+	// even shorter breakpoint than UrbanParams and stronger shadowing —
+	// tall buildings both sides, reflections dominating past ~80 m.
+	UrbanCanyonParams = DualSlopeParams{
+		RefDistance: 1, CriticalDistance: 80,
+		Gamma1: 2.30, Gamma2: 6.80, Sigma1: 4.2, Sigma2: 6.5,
+	}
 )
 
 // DualSlope is Equation 1 as a Model. Received power in the paper's form:

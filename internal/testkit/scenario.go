@@ -72,6 +72,13 @@ type Scenario struct {
 	// crash, so recovery exercises the snapshot-load + tail-replay path
 	// rather than a full journal replay.
 	SnapshotBeforeCrash bool
+	// OnRound, when non-nil, observes every detection boundary as it
+	// fires: the stream-time boundary and the outcomes DetectNow
+	// returned (ingest is quiesced first, so the outcomes reflect every
+	// line delivered before the boundary). The scorecard layer computes
+	// per-round detection quality from this stream. Result fields reuse
+	// the scheduler's buffers; callers must copy what they retain.
+	OnRound func(boundary time.Duration, outcomes []service.RoundOutcome)
 }
 
 // Report is the outcome of one scenario run.
@@ -349,15 +356,19 @@ func (s *Scenario) Run(ctx context.Context) (Report, error) {
 		return nil
 	}
 
-	round := func() error {
+	round := func(boundary time.Duration) error {
 		if err := quiesce(); err != nil {
 			return err
 		}
-		for _, out := range srv.DetectNow() {
+		outcomes := srv.DetectNow()
+		for _, out := range outcomes {
 			rep.Rounds++
 			if out.Err != nil {
 				rep.RoundErrors++
 			}
+		}
+		if s.OnRound != nil {
+			s.OnRound(boundary, outcomes)
 		}
 		return nil
 	}
@@ -408,7 +419,7 @@ func (s *Scenario) Run(ctx context.Context) (Report, error) {
 		}
 		for rec.T >= nb {
 			flushPending()
-			if err := round(); err != nil {
+			if err := round(nb); err != nil {
 				return fail(err)
 			}
 			nb += period
@@ -440,7 +451,7 @@ func (s *Scenario) Run(ctx context.Context) (Report, error) {
 		}
 	}
 	flushPending()
-	if err := round(); err != nil {
+	if err := round(nb); err != nil {
 		return fail(err)
 	}
 

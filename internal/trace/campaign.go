@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"voiceprint/internal/vanet"
+)
+
+// CampaignRecords realizes an adversarial campaign (vanet.BuildCampaign),
+// runs it for its configured duration, and flattens every observer's
+// reception log into one record stream sorted by time, then receiver,
+// then sender — the canonical replay order the scorecard streams through
+// the live daemon. The output is a pure function of (cfg, seed): the
+// campaign build, the engine RNG, and this flattening are all
+// deterministic, which the golden-hash determinism test pins.
+//
+// The returned Truth is the simulation's ground-truth identity labels;
+// the scorecard grades daemon verdicts against it.
+func CampaignRecords(cfg vanet.CampaignConfig, seed int64) ([]Record, vanet.Truth, error) {
+	camp, err := vanet.BuildCampaign(cfg, seed)
+	if err != nil {
+		return nil, vanet.Truth{}, err
+	}
+	eng, err := vanet.NewEngine(camp.Engine, camp.Nodes)
+	if err != nil {
+		return nil, vanet.Truth{}, fmt.Errorf("trace: campaign %q: %w", cfg.Kind, err)
+	}
+	eng.Run(camp.Duration)
+
+	logs := eng.Logs()
+	// Engine log maps iterate nondeterministically; flatten per observer
+	// in ascending node-index order (FromLog sorts within an observer).
+	idx := make([]int, 0, len(logs))
+	for i := range logs {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	var out []Record
+	for _, i := range idx {
+		out = append(out, FromLog(logs[i])...)
+	}
+	// Interleave observers into one global stream: the daemon replay
+	// feeds all receivers over one connection in arrival order.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		if out[i].Receiver != out[j].Receiver {
+			return out[i].Receiver < out[j].Receiver
+		}
+		return out[i].Sender < out[j].Sender
+	})
+	return out, eng.Truth(), nil
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"voiceprint/internal/vanet"
+)
+
+var updateCampaignGolden = flag.Bool("update-campaign-golden", false,
+	"rewrite testdata/campaign_hashes.json from the current output")
+
+// campaignSeed is the fixed root seed the golden hashes pin.
+const campaignSeed = 1337
+
+// campaignHash runs one campaign and hashes its canonical CSV bytes.
+func campaignHash(t *testing.T, kind string) string {
+	t.Helper()
+	cfg, err := vanet.DefaultCampaign(kind)
+	if err != nil {
+		t.Fatalf("DefaultCampaign(%q): %v", kind, err)
+	}
+	records, truth, err := CampaignRecords(cfg, campaignSeed)
+	if err != nil {
+		t.Fatalf("CampaignRecords(%q): %v", kind, err)
+	}
+	if len(records) == 0 {
+		t.Fatalf("campaign %q produced no records", kind)
+	}
+	if len(truth.Sybil) == 0 {
+		t.Fatalf("campaign %q has no Sybil ground truth", kind)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, records); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestCampaignRecordsDeterministic pins every campaign kind to a golden
+// sha256 of its CSV trace: two in-process runs must agree with each
+// other and with the committed hash, under GOMAXPROCS=1 and under the
+// test binary's normal parallelism. Any RNG reordering, map-iteration
+// leak, or scheduling dependence in the generator breaks this test.
+func TestCampaignRecordsDeterministic(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "campaign_hashes.json")
+	golden := make(map[string]string)
+	if !*updateCampaignGolden {
+		data, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("read golden (run with -update-campaign-golden to create): %v", err)
+		}
+		if err := json.Unmarshal(data, &golden); err != nil {
+			t.Fatalf("parse golden: %v", err)
+		}
+	}
+	got := make(map[string]string)
+	for _, kind := range vanet.CampaignKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			// Serial pass: pin the trace under GOMAXPROCS=1.
+			prev := runtime.GOMAXPROCS(1)
+			serial := campaignHash(t, kind)
+			runtime.GOMAXPROCS(prev)
+			// Parallel pass: same bytes under normal scheduling.
+			parallel := campaignHash(t, kind)
+			if serial != parallel {
+				t.Fatalf("GOMAXPROCS=1 hash %s != parallel hash %s", serial, parallel)
+			}
+			got[kind] = serial
+			if *updateCampaignGolden {
+				return
+			}
+			want, ok := golden[kind]
+			if !ok {
+				t.Fatalf("no golden hash for %q (run with -update-campaign-golden)", kind)
+			}
+			if serial != want {
+				t.Errorf("campaign %q trace hash %s, want golden %s", kind, serial, want)
+			}
+		})
+	}
+	if *updateCampaignGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal golden: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+	}
+}
+
+// TestCampaignRecordsSortedForReplay checks the global interleaving
+// contract: records arrive in (time, receiver, sender) order, which the
+// daemon replay relies on for monotone per-receiver streams.
+func TestCampaignRecordsSortedForReplay(t *testing.T) {
+	cfg, err := vanet.DefaultCampaign(vanet.KindColludingFleet)
+	if err != nil {
+		t.Fatalf("DefaultCampaign: %v", err)
+	}
+	records, _, err := CampaignRecords(cfg, campaignSeed)
+	if err != nil {
+		t.Fatalf("CampaignRecords: %v", err)
+	}
+	for i := 1; i < len(records); i++ {
+		a, b := records[i-1], records[i]
+		if a.T > b.T ||
+			(a.T == b.T && a.Receiver > b.Receiver) ||
+			(a.T == b.T && a.Receiver == b.Receiver && a.Sender > b.Sender) {
+			t.Fatalf("records %d,%d out of replay order: %+v then %+v", i-1, i, a, b)
+		}
+	}
+}

@@ -99,16 +99,23 @@ func NewEngine(cfg Config, nodes []*Node) (*Engine, error) {
 	if len(nodes) < 2 {
 		return nil, errors.New("vanet: need at least two nodes")
 	}
-	seen := make(map[NodeID]bool)
+	// An identity ID may appear on several radios only if the copies'
+	// active windows are pairwise disjoint: that is the colluding-fleet
+	// handoff (one fabricated identity walking between physical
+	// transmitters), and two radios broadcasting one identity at the same
+	// instant is a configuration bug, not an attack the medium supports.
+	seen := make(map[NodeID][]Identity)
 	for i, n := range nodes {
 		if err := n.Validate(); err != nil {
 			return nil, fmt.Errorf("node %d: %w", i, err)
 		}
 		for _, id := range n.Identities {
-			if seen[id.ID] {
-				return nil, fmt.Errorf("vanet: duplicate identity %d", id.ID)
+			for _, prev := range seen[id.ID] {
+				if id.overlaps(prev) {
+					return nil, fmt.Errorf("vanet: duplicate identity %d with overlapping active windows", id.ID)
+				}
 			}
-			seen[id.ID] = true
+			seen[id.ID] = append(seen[id.ID], id)
 		}
 	}
 	observers := cfg.Observers
@@ -167,7 +174,10 @@ func NewEngine(cfg Config, nodes []*Node) (*Engine, error) {
 // Now returns the current simulation time.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// Truth derives the ground truth from the node set.
+// Truth derives the ground truth from the node set. For handoff
+// identities (one ID with disjoint active windows on several radios)
+// Owner records the last holder in node order; Sybil/Malicious flags
+// are identical across copies by construction.
 func (e *Engine) Truth() Truth {
 	t := Truth{
 		Sybil:     make(map[NodeID]bool),
@@ -206,6 +216,18 @@ func (e *Engine) Run(dur time.Duration) {
 		e.now += e.cfg.Step
 		e.broadcast()
 	}
+}
+
+// activeIdentities counts n's identities broadcasting at the current
+// simulation time.
+func (e *Engine) activeIdentities(n *Node) int {
+	count := 0
+	for _, id := range n.Identities {
+		if id.ActiveAt(e.now) {
+			count++
+		}
+	}
+	return count
 }
 
 // broadcast delivers this interval's beacons to every observer.
@@ -247,7 +269,7 @@ func (e *Engine) broadcast() {
 				continue
 			}
 			if mobility.Distance(positions[i], rxPos) <= csRange {
-				txPerSecond += float64(len(n.Identities)) * perSecond
+				txPerSecond += float64(e.activeIdentities(n)) * perSecond
 			}
 		}
 		load := e.cfg.Channel.OfferedLoad(txPerSecond)
@@ -256,9 +278,13 @@ func (e *Engine) broadcast() {
 			if i == oIdx {
 				continue
 			}
+			active := e.activeIdentities(n)
+			if active == 0 {
+				continue
+			}
 			trueDist := mobility.Distance(positions[i], rxPos)
 			if maxRange := e.cfg.Channel.MaxReceptionRange; maxRange > 0 && trueDist > maxRange {
-				log.LostSensitivity += len(n.Identities)
+				log.LostSensitivity += active
 				continue
 			}
 			// One correlated shadowing value per physical link per step:
@@ -284,6 +310,9 @@ func (e *Engine) broadcast() {
 			// preserves Sybil-series similarity under load).
 			collided := e.rng.Float64() > e.cfg.Channel.DeliveryProb(load)
 			for _, id := range n.Identities {
+				if !id.ActiveAt(e.now) {
+					continue
+				}
 				pl := meanPL + shadow
 				if e.cfg.NoiseDB > 0 {
 					pl += e.cfg.NoiseDB * e.rng.NormFloat64()

@@ -1,0 +1,58 @@
+package vanet
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzScenarioConfig fuzzes the campaign config parsing path: it must
+// never panic, and anything it accepts must satisfy the documented value
+// domain (finite numbers, positive density, non-empty fleet) — i.e. an
+// accepted config is buildable input, a rejected one carries an error.
+func FuzzScenarioConfig(f *testing.F) {
+	for _, kind := range CampaignKinds() {
+		cfg, err := DefaultCampaign(kind)
+		if err != nil {
+			f.Fatalf("DefaultCampaign: %v", err)
+		}
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			f.Fatalf("Marshal: %v", err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"kind":"single-attacker","density_per_km":-1}`))
+	f.Add([]byte(`{"kind":"power-hop","hop_levels_db":[1e999]}`))
+	f.Add([]byte(`{"kind":"colluding-fleet","sybil_per_attacker":0}`))
+	f.Add([]byte(`{"kind":"sybil-churn","duration_s":null}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseCampaignConfig(data)
+		if err != nil {
+			return
+		}
+		// Accepted: the validated domain must hold.
+		for name, v := range map[string]float64{
+			"duration":  cfg.DurationS,
+			"density":   cfg.DensityPerKm,
+			"length":    cfg.HighwayLengthM,
+			"tx min":    cfg.TxPowerMinDBm,
+			"tx max":    cfg.TxPowerMaxDBm,
+			"max range": cfg.MaxRangeM,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite %s: %v", name, v)
+			}
+		}
+		if cfg.DensityPerKm <= 0 {
+			t.Fatalf("accepted non-positive density %v", cfg.DensityPerKm)
+		}
+		if cfg.Attackers < 1 || cfg.SybilPerAttacker < 1 {
+			t.Fatalf("accepted empty fleet: %+v", cfg)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("parsed config fails re-validation: %v", err)
+		}
+	})
+}

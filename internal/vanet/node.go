@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"voiceprint/internal/mobility"
@@ -41,6 +42,43 @@ type Identity struct {
 	// future work and admits Voiceprint cannot handle (the Equation 7
 	// Z-score removes only *constant* offsets). Nil means constant power.
 	Power *PowerControl
+	// ActiveFrom and ActiveUntil bound when this identity broadcasts:
+	// it is silent before ActiveFrom and from ActiveUntil on. The zero
+	// values mean always active (ActiveUntil == 0 is "forever"). Churn
+	// scenarios retire and introduce Sybil identities mid-window with
+	// these; colluding fleets hand one identity between radios by giving
+	// each radio a copy with disjoint active windows.
+	ActiveFrom, ActiveUntil time.Duration
+}
+
+// ActiveAt reports whether the identity broadcasts at simulation time t.
+func (id Identity) ActiveAt(t time.Duration) bool {
+	if t < id.ActiveFrom {
+		return false
+	}
+	return id.ActiveUntil == 0 || t < id.ActiveUntil
+}
+
+// activeForever reports an unbounded active window.
+func (id Identity) activeForever() bool {
+	return id.ActiveFrom == 0 && id.ActiveUntil == 0
+}
+
+// overlaps reports whether two identities' active windows intersect —
+// the condition under which two radios holding the same identity ID
+// would broadcast it concurrently.
+func (id Identity) overlaps(other Identity) bool {
+	if id.activeForever() || other.activeForever() {
+		return true
+	}
+	aEnd, bEnd := id.ActiveUntil, other.ActiveUntil
+	if aEnd == 0 {
+		aEnd = 1<<63 - 1
+	}
+	if bEnd == 0 {
+		bEnd = 1<<63 - 1
+	}
+	return id.ActiveFrom < bEnd && other.ActiveFrom < aEnd
 }
 
 // PowerControl modulates an identity's transmit power per beacon.
@@ -52,8 +90,18 @@ type PowerControl struct {
 	// clamped to +-WalkClampDB.
 	WalkStepDB  float64
 	WalkClampDB float64
+	// HopLevelsDB, when non-empty, makes the identity hop among these
+	// discrete power offsets: every HopEveryBeacons beacons (default 1,
+	// i.e. per beacon) the next level is drawn uniformly. Discrete
+	// hopping is the transmit-power-control attack real DSRC radios can
+	// actually mount — they switch among a handful of calibrated output
+	// levels rather than dialing continuous offsets.
+	HopLevelsDB     []float64
+	HopEveryBeacons int
 
-	walk float64
+	walk    float64
+	hop     float64
+	beacons int
 }
 
 // Next returns the next beacon's power offset in dB.
@@ -75,6 +123,17 @@ func (p *PowerControl) Next(rng *rand.Rand) float64 {
 			p.walk = -clamp
 		}
 		off += p.walk
+	}
+	if len(p.HopLevelsDB) > 0 {
+		every := p.HopEveryBeacons
+		if every <= 0 {
+			every = 1
+		}
+		if p.beacons%every == 0 {
+			p.hop = p.HopLevelsDB[rng.Intn(len(p.HopLevelsDB))]
+		}
+		p.beacons++
+		off += p.hop
 	}
 	return off
 }
@@ -180,7 +239,8 @@ type ReceptionLog struct {
 }
 
 // HeardIDs returns the identities with at least one observation in
-// [from, to).
+// [from, to), in ascending ID order (PerIdentity is a map; callers must
+// not see its iteration order).
 func (r *ReceptionLog) HeardIDs(from, to time.Duration) []NodeID {
 	ids := make([]NodeID, 0, len(r.PerIdentity))
 	for id, l := range r.PerIdentity {
@@ -191,6 +251,7 @@ func (r *ReceptionLog) HeardIDs(from, to time.Duration) []NodeID {
 			}
 		}
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
