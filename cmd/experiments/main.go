@@ -290,38 +290,55 @@ func (r *runner) run(id string) error {
 		// The adversarial campaign grade: fixed seed and boundary (the
 		// -seed flag deliberately does not apply — the committed
 		// baseline pins scorecard.CampaignSeed).
-		card, err := scorecard.RunAll(context.Background())
+		return r.runScorecard(false)
+	case "scorecard-fusion":
+		// The same campaign graded with the fusion detector enabled
+		// (position consistency signal + cross-receiver cliques).
+		return r.runScorecard(true)
+	default:
+		return fmt.Errorf("unknown experiment %q (try 'list')", id)
+	}
+	return nil
+}
+
+// runScorecard grades the adversarial campaign (plain or fused),
+// honoring -scorecard-out and -scorecard-baseline.
+func (r *runner) runScorecard(fused bool) error {
+	label := "scorecard"
+	runAll := scorecard.RunAll
+	if fused {
+		label = "fusion scorecard"
+		runAll = scorecard.RunAllFused
+	}
+	card, err := runAll(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Adversarial scenario %s (seed %d, boundary k=%g b=%g)\n\n%s",
+		label, card.Seed, card.BoundaryK, card.BoundaryB, card.Table())
+	if r.scorecardOut != "" {
+		data, err := card.Encode()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Adversarial scenario scorecard (seed %d, boundary k=%g b=%g)\n\n%s",
-			card.Seed, card.BoundaryK, card.BoundaryB, card.Table())
-		if r.scorecardOut != "" {
-			data, err := card.Encode()
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(r.scorecardOut, data, 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("[wrote %s]\n", r.scorecardOut)
+		if err := os.WriteFile(r.scorecardOut, data, 0o644); err != nil {
+			return err
 		}
-		if r.scorecardBaseline != "" {
-			data, err := os.ReadFile(r.scorecardBaseline)
-			if err != nil {
-				return err
-			}
-			baseline, err := scorecard.Decode(data)
-			if err != nil {
-				return err
-			}
-			if err := scorecard.Gate(card, baseline); err != nil {
-				return err
-			}
-			fmt.Printf("[scorecard within tolerances of %s]\n", r.scorecardBaseline)
+		fmt.Printf("[wrote %s]\n", r.scorecardOut)
+	}
+	if r.scorecardBaseline != "" {
+		data, err := os.ReadFile(r.scorecardBaseline)
+		if err != nil {
+			return err
 		}
-	default:
-		return fmt.Errorf("unknown experiment %q (try 'list')", id)
+		baseline, err := scorecard.Decode(data)
+		if err != nil {
+			return err
+		}
+		if err := scorecard.Gate(card, baseline); err != nil {
+			return err
+		}
+		fmt.Printf("[%s within tolerances of %s]\n", label, r.scorecardBaseline)
 	}
 	return nil
 }

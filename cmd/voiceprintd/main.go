@@ -9,7 +9,15 @@
 // Live mode:
 //
 //	voiceprintd -listen 127.0.0.1:8474 -admin 127.0.0.1:8475 \
-//	            [-k 0.000025 -b 0.0067] [-observation 20s -period 20s]
+//	            [-k 0.000025 -b 0.0067] [-observation 20s -period 20s] [-fusion]
+//
+// -fusion enables the multi-signal detector: observations may carry a
+// schema-1 "pos" field with the sender's claimed coordinates, graded by
+// the claimed-position consistency signal inside every monitor and by
+// the cross-receiver co-observation clique coordinator on synchronized
+// detection rounds (live mode; replay rounds are per-receiver and skip
+// the coordinator). Verdict events then carry per-signal attribution in
+// a "signals" field.
 //
 // One observation per line, one verdict event per round per receiver:
 //
@@ -41,6 +49,7 @@ import (
 	"time"
 
 	"voiceprint/internal/core"
+	"voiceprint/internal/fusion"
 	"voiceprint/internal/lda"
 	"voiceprint/internal/service"
 	"voiceprint/internal/wal"
@@ -68,6 +77,12 @@ func run() error {
 	tolerance := flag.Duration("reorder-tolerance", 500*time.Millisecond, "accept observations up to this far out of order")
 	workers := flag.Int("workers", 0, "detection round worker pool size (0 = GOMAXPROCS)")
 	prune := flag.Bool("prune", true, "LB_Keogh candidate pruning in the compare phase (bit-identical verdicts)")
+	fusionOn := flag.Bool("fusion", false, "enable the multi-signal fusion detector: claimed-position consistency per monitor plus cross-receiver co-observation cliques on synchronized rounds")
+	fusionAlpha := flag.Float64("fusion-alpha", 0, "position signal chi-square significance level (0 = default 0.001)")
+	fusionMinCohort := flag.Int("fusion-min-cohort", 0, "fewest testable identities before the position mean test runs (0 = default 4)")
+	fusionCorr := flag.Float64("fusion-corr-threshold", 0, "residual-correlation threshold flagging same-radio identity pairs (0 = default 0.93)")
+	fusionPosQuorum := flag.Int("fusion-pos-quorum", 0, "receivers that must position-flag an identity to anchor a clique conviction (0 = default 2)")
+	fusionEdgeQuorum := flag.Int("fusion-edge-quorum", 0, "receivers that must voiceprint-flag a pair to form a co-observation edge (0 = default 2)")
 	ingestBuffer := flag.Int("ingest-buffer", 0, "per-connection observation buffer (0 = default 4096)")
 	eventBuffer := flag.Int("event-buffer", 0, "per-connection outbound verdict buffer (0 = default 256)")
 	maxLineBytes := flag.Int("max-line-bytes", 0, "max inbound NDJSON line length (0 = default 64KiB)")
@@ -112,6 +127,30 @@ func run() error {
 	regCfg.Monitor.Detector.Workers = *workers
 	regCfg.Monitor.Detector.LBPrune = *prune
 
+	var coord service.RoundCoordinator
+	if *fusionOn {
+		pos, err := fusion.NewPositionSignal(fusion.PositionConfig{
+			Alpha:         *fusionAlpha,
+			MinCohort:     *fusionMinCohort,
+			CorrThreshold: *fusionCorr,
+		})
+		if err != nil {
+			return fmt.Errorf("-fusion: %w", err)
+		}
+		regCfg.Monitor.Fusion = core.FusionOptions{
+			Enabled: true,
+			Signals: []core.Signal{pos},
+		}
+		c, err := fusion.NewCoordinator(fusion.CoordinatorConfig{
+			PosQuorum:  *fusionPosQuorum,
+			EdgeQuorum: *fusionEdgeQuorum,
+		})
+		if err != nil {
+			return fmt.Errorf("-fusion: %w", err)
+		}
+		coord = c
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -131,6 +170,7 @@ func run() error {
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		DrainTimeout: *drainTimeout,
+		Coordinator:  coord,
 		Logger:       logger,
 	}
 	if *socket != "" {

@@ -28,6 +28,7 @@ const observerPkg = "voiceprint/internal/core"
 var strictPkgs = []string{
 	"voiceprint/internal/core",
 	"voiceprint/internal/dtw",
+	"voiceprint/internal/fusion",
 	"voiceprint/internal/stats",
 	"voiceprint/internal/timeseries",
 	"voiceprint/internal/vanet",

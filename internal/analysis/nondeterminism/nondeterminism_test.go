@@ -22,6 +22,13 @@ func TestGeneratorPackage(t *testing.T) {
 	vettest.Run(t, nondeterminism.Analyzer, "testdata/src/generator", "voiceprint/internal/vanet")
 }
 
+func TestFusionPackage(t *testing.T) {
+	// The fusion signals feed the same graded verdicts as the DTW core:
+	// a position or clique round must be a pure function of the beacon
+	// stream, so the package sits in the strict scope.
+	vettest.Run(t, nondeterminism.Analyzer, "testdata/src/strict", "voiceprint/internal/fusion")
+}
+
 func TestOutOfScopePackage(t *testing.T) {
 	// The same violation-laden fixture must be clean when it is not a
 	// detection-path package: AppliesTo scopes the invariant.

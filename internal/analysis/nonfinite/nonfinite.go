@@ -28,6 +28,7 @@ const timeseriesPkg = "voiceprint/internal/timeseries"
 var floatEqPkgs = []string{
 	"voiceprint/internal/core",
 	"voiceprint/internal/dtw",
+	"voiceprint/internal/fusion",
 	"voiceprint/internal/stats",
 	"voiceprint/internal/timeseries",
 }

@@ -15,6 +15,12 @@ func TestUncheckedIngest(t *testing.T) {
 	vettest.Run(t, nonfinite.Analyzer, "testdata/src/append", "voiceprint/internal/trace")
 }
 
+func TestFloatEqualityInFusion(t *testing.T) {
+	// The fusion signal thresholds (PositionConfig) are detection math:
+	// a NaN threshold must be caught by Validate, never compared with ==.
+	vettest.Run(t, nonfinite.Analyzer, "testdata/src/strict", "voiceprint/internal/fusion")
+}
+
 func TestFloatEqualityOutOfScope(t *testing.T) {
 	// Float equality is only forbidden in the detection-math packages.
 	vettest.RunExpectClean(t, nonfinite.Analyzer, "testdata/src/strict", "voiceprint/internal/service")

@@ -272,6 +272,12 @@ type Result struct {
 	PairsCompared    int
 	PairsPrunedLB    int
 	PairsReusedDirty int
+	// Signals is the per-identity, per-signal attribution map, populated
+	// only by fusion-enabled Monitor rounds: identity -> signal name ->
+	// score (normalized DTW distance for "voiceprint", chi-square
+	// statistic for "position", group index for "clique"). Nil on plain
+	// single-signal rounds, so fusion-off results are unchanged.
+	Signals map[vanet.NodeID]map[string]float64
 }
 
 // roundScratch is one detection round's reusable working memory. A pooled

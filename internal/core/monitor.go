@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sort"
 	"sync"
 	"time"
 
@@ -66,6 +67,16 @@ type Monitor struct {
 	lastVer uint64
 	lastEnd time.Duration
 	cached  uint64
+
+	// Fusion state: the configured extra signals and, when fusion is
+	// enabled, the per-identity claimed-position samples (appended by
+	// ObserveWithClaim, trimmed with the series). claims is nil when
+	// fusion is off — claimed positions are then ignored entirely, which
+	// keeps plain rounds bit-identical.
+	fusion FusionOptions
+	claims map[vanet.NodeID][]ClaimSample
+	// claimsIn is the reusable window slice handed to signals.
+	claimsIn map[vanet.NodeID][]ClaimSample
 }
 
 // MonitorConfig configures a Monitor.
@@ -95,6 +106,9 @@ type MonitorConfig struct {
 	// influences pruning); the knob exists for memory-constrained
 	// deployments and for the equivalence tests that prove that claim.
 	DisablePairCache bool
+	// Fusion is the multi-signal fusion option block (see FusionOptions).
+	// The zero value keeps the plain single-signal pipeline.
+	Fusion FusionOptions
 }
 
 // NewMonitor builds a Monitor.
@@ -133,6 +147,9 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if tolerance < 0 {
 		tolerance = 0
 	}
+	if err := cfg.Fusion.Validate(); err != nil {
+		return nil, err
+	}
 	m := &Monitor{
 		det:        det,
 		estimator:  est,
@@ -144,6 +161,10 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 		series:     make(map[vanet.NodeID]*timeseries.Series),
 		lastObs:    make(map[vanet.NodeID]time.Duration),
 		obsVer:     make(map[vanet.NodeID]uint64),
+		fusion:     cfg.Fusion,
+	}
+	if m.fusion.Enabled {
+		m.claims = make(map[vanet.NodeID][]ClaimSample)
 	}
 	if !cfg.DisablePairCache {
 		m.memo = newPairMemo()
@@ -173,7 +194,29 @@ var ErrNonFiniteRSSI = errors.New("core: non-finite RSSI")
 func (m *Monitor) Observe(id vanet.NodeID, t time.Duration, rssi float64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.observeLocked(id, t, rssi, m.tolerance)
+	return m.observeLocked(id, t, rssi, m.tolerance, nil)
+}
+
+// ErrNonFinitePosition is returned when a claimed position carries a NaN
+// or Inf coordinate — rejected at ingest for the same reason as
+// non-finite RSSI.
+var ErrNonFinitePosition = errors.New("core: non-finite claimed position")
+
+// ObserveWithClaim feeds one beacon that also carried a claimed sender
+// position, expressed in the receiver's local frame (claimed minus
+// receiver position, meters). The RSSI sample is ingested exactly as
+// Observe does; the claim is additionally retained for fusion signals
+// when MonitorConfig.Fusion is enabled, and ignored otherwise — so a
+// fusion-off monitor fed positioned beacons behaves bit-identically to
+// one fed plain beacons.
+func (m *Monitor) ObserveWithClaim(id vanet.NodeID, t time.Duration, rssi float64, x, y float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := ClaimSample{T: t, X: x, Y: y, RSSI: rssi}
+	if !finiteClaim(c) {
+		return fmt.Errorf("%w: (%v, %v) at %v", ErrNonFinitePosition, x, y, t)
+	}
+	return m.observeLocked(id, t, rssi, m.tolerance, &c)
 }
 
 // ObserveClamped feeds one beacon with an explicit reorder tolerance
@@ -185,13 +228,14 @@ func (m *Monitor) Observe(id vanet.NodeID, t time.Duration, rssi float64) error 
 func (m *Monitor) ObserveClamped(id vanet.NodeID, t time.Duration, rssi float64, tolerance time.Duration) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.observeLocked(id, t, rssi, tolerance)
+	return m.observeLocked(id, t, rssi, tolerance, nil)
 }
 
 // observeLocked implements ingest under m.mu; tolerance bounds how far
 // behind the monitor clock a timestamp may lag and still be clamped
-// forward.
-func (m *Monitor) observeLocked(id vanet.NodeID, t time.Duration, rssi float64, tolerance time.Duration) error {
+// forward. claim, when non-nil and fusion is enabled, is retained for
+// the round's fusion signals (its T is clamped along with the sample's).
+func (m *Monitor) observeLocked(id vanet.NodeID, t time.Duration, rssi float64, tolerance time.Duration, claim *ClaimSample) error {
 	if math.IsNaN(rssi) || math.IsInf(rssi, 0) {
 		return fmt.Errorf("%w: %v at %v", ErrNonFiniteRSSI, rssi, t)
 	}
@@ -213,6 +257,10 @@ func (m *Monitor) observeLocked(id vanet.NodeID, t time.Duration, rssi float64, 
 	m.lastObs[id] = t
 	m.version++
 	m.obsVer[id] = m.version
+	if claim != nil && m.claims != nil {
+		claim.T = t
+		m.claims[id] = append(m.claims[id], *claim)
+	}
 	return nil
 }
 
@@ -309,12 +357,102 @@ func (m *Monitor) detectAtLocked(end time.Duration) (*Result, error) {
 		return nil, err
 	}
 	res.WindowEnd = end
+	if m.fusion.Enabled {
+		if err := m.fuseLocked(res, from, end); err != nil {
+			return nil, err
+		}
+	}
 	m.estimator.Record(res.Suspects)
 	res.Confirmed = m.confirmer.Update(res.Considered, res.Suspects)
 	m.lastRes = res
 	m.lastVer = m.version
 	m.lastEnd = end
 	return res, nil
+}
+
+// fuseLocked runs the configured fusion signals over the round's window
+// and folds their verdicts into res: suspect sets union, and flagged
+// identities extend Considered (so every flagged identity is accounted
+// in the round that flagged it). Tested-but-clean identities do NOT
+// extend Considered — a fusion signal's negative verdict is weaker than
+// its positive one, and folding them in would dilute the round's
+// grading denominator relative to the plain pipeline instead of
+// strictly adding to it. Per-identity scores land in res.Signals. The
+// voiceprint round itself has already run; its pair evidence is in
+// res.Pairs.
+func (m *Monitor) fuseLocked(res *Result, from, end time.Duration) error {
+	if m.claimsIn == nil {
+		m.claimsIn = make(map[vanet.NodeID][]ClaimSample)
+	}
+	clear(m.claimsIn)
+	for id, cs := range m.claims {
+		// Claims are appended under the monotone monitor clock, so each
+		// slice is sorted by T; binary-search the window bounds.
+		lo := sort.Search(len(cs), func(i int) bool { return cs[i].T >= from })
+		hi := sort.Search(len(cs), func(i int) bool { return cs[i].T > end })
+		if lo < hi {
+			m.claimsIn[id] = cs[lo:hi:hi]
+		}
+	}
+	in := &SignalInput{
+		WindowStart: from,
+		WindowEnd:   end,
+		Density:     res.Density,
+		Series:      m.input,
+		Claims:      m.claimsIn,
+	}
+	signals := make(map[vanet.NodeID]map[string]float64)
+	attach := func(id vanet.NodeID, name string, score float64) {
+		per := signals[id]
+		if per == nil {
+			per = make(map[string]float64, 2)
+			signals[id] = per
+		}
+		per[name] = score
+	}
+	vpScores := VoiceprintScores(res.Pairs, nil)
+	for id := range res.Suspects {
+		if s, ok := vpScores[id]; ok {
+			attach(id, SignalName, s)
+		}
+	}
+	considered := make(map[vanet.NodeID]bool, len(res.Considered))
+	for _, id := range res.Considered {
+		considered[id] = true
+	}
+	grew := false
+	for _, sig := range m.fusion.Signals {
+		sr, err := sig.Analyze(in)
+		if err != nil {
+			return fmt.Errorf("core: fusion signal %q: %w", sig.Name(), err)
+		}
+		if sr == nil {
+			continue
+		}
+		res.Skipped += sr.Skipped
+		name := sig.Name()
+		for id, flagged := range sr.Suspects {
+			if !flagged {
+				continue
+			}
+			res.Suspects[id] = true
+			attach(id, name, sr.Scores[id])
+			if !considered[id] {
+				considered[id] = true
+				grew = true
+			}
+		}
+	}
+	if grew {
+		ids := make([]vanet.NodeID, 0, len(considered))
+		for id := range considered {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		res.Considered = ids
+	}
+	res.Signals = signals
+	return nil
 }
 
 // Confirmed returns the identities currently confirmed as Sybil under the
@@ -366,6 +504,7 @@ func (m *Monitor) evictLocked() {
 			delete(m.lastObs, id)
 			delete(m.views, id)
 			delete(m.obsVer, id)
+			delete(m.claims, id)
 			if m.memo != nil {
 				m.memo.forget(id)
 			}
@@ -388,5 +527,15 @@ func (m *Monitor) evictLocked() {
 	}
 	for _, s := range m.series {
 		s.TrimBefore(from)
+	}
+	for id, cs := range m.claims {
+		lo := sort.Search(len(cs), func(i int) bool { return cs[i].T >= from })
+		if lo == 0 {
+			continue
+		}
+		// Shift in place so the retained tail does not pin the trimmed
+		// prefix through the shared backing array.
+		n := copy(cs, cs[lo:])
+		m.claims[id] = cs[:n]
 	}
 }

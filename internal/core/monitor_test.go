@@ -165,6 +165,9 @@ func TestConfirmerSnapshotIsReadOnly(t *testing.T) {
 	}
 }
 
+// TestMonitorObserveClamped is the dedicated coverage for the deprecated
+// compatibility shim; every other caller has migrated to
+// MonitorConfig.ReorderTolerance with Observe.
 func TestMonitorObserveClamped(t *testing.T) {
 	m := testMonitor(t, 1, 1)
 	if err := m.Observe(1, time.Second, -70); err != nil {
@@ -189,7 +192,17 @@ func TestMonitorObserveClamped(t *testing.T) {
 // TestMonitorConcurrentAccess exercises the monitor's thread safety:
 // concurrent feeders and a detector loop, meaningful under -race.
 func TestMonitorConcurrentAccess(t *testing.T) {
-	m := testMonitor(t, 3, 2)
+	cfg := DefaultConfig(testBoundary())
+	cfg.MinMedianRSSIDBm = 0
+	m, err := NewMonitor(MonitorConfig{
+		Detector:         cfg,
+		ConfirmWindow:    3,
+		ConfirmNeed:      2,
+		ReorderTolerance: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
 		wg.Add(1)
@@ -198,7 +211,7 @@ func TestMonitorConcurrentAccess(t *testing.T) {
 			id := vanet.NodeID(10 + g)
 			for i := 0; i < 300; i++ {
 				t := time.Duration(i) * 10 * time.Millisecond
-				_ = m.ObserveClamped(id, t, -70+float64(g), time.Hour)
+				_ = m.Observe(id, t, -70+float64(g))
 			}
 		}(g)
 	}

@@ -78,14 +78,14 @@ func TestObserverStageSequence(t *testing.T) {
 	// four; a cached repeat round reports nothing new.
 	obs3 := newRecordingObserver()
 	cfg.Observer = obs3
-	mon, err := NewMonitor(MonitorConfig{Detector: cfg})
+	mon, err := NewMonitor(MonitorConfig{Detector: cfg, ReorderTolerance: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for id, s := range series {
 		for i := 0; i < s.Len(); i++ {
 			sample := s.At(i)
-			if err := mon.ObserveClamped(id, sample.T, sample.RSSI, time.Hour); err != nil {
+			if err := mon.Observe(id, sample.T, sample.RSSI); err != nil {
 				t.Fatal(err)
 			}
 		}

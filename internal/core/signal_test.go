@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"voiceprint/internal/vanet"
+)
+
+// TestVoiceprintSignalBitIdentity: the Signal adapter must reproduce the
+// monolithic Detector.Detect verdict exactly — same suspects, same pair
+// evidence, same considered set — over the same windowed series. The
+// whole fusion redesign rests on this equivalence.
+func TestVoiceprintSignalBitIdentity(t *testing.T) {
+	cfg := DefaultConfig(testBoundary())
+	cfg.MinMedianRSSIDBm = 0
+	det, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := NewVoiceprintSignal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Name() != SignalName {
+		t.Fatalf("signal name = %q, want %q", sig.Name(), SignalName)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		series := sybilCluster(rng, 5)
+		want, err := det.Detect(series, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sig.Analyze(&SignalInput{Series: series, Density: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Suspects, want.Suspects) {
+			t.Errorf("trial %d: suspects %v != detector %v", trial, got.Suspects, want.Suspects)
+		}
+		if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+			t.Errorf("trial %d: pair evidence diverged", trial)
+		}
+		if !reflect.DeepEqual(got.Tested, want.Considered) {
+			t.Errorf("trial %d: tested %v != considered %v", trial, got.Tested, want.Considered)
+		}
+		if got.Skipped != want.Skipped {
+			t.Errorf("trial %d: skipped %d != %d", trial, got.Skipped, want.Skipped)
+		}
+		for id, s := range got.Scores {
+			if !want.Suspects[id] {
+				t.Errorf("trial %d: score for unflagged %d", trial, id)
+			}
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Errorf("trial %d: non-finite score for %d", trial, id)
+			}
+		}
+	}
+}
+
+// stubSignal is a minimal Signal for option-validation and fusion-path
+// tests.
+type stubSignal struct {
+	name    string
+	flag    vanet.NodeID
+	valErr  error
+	analyze func(*SignalInput) (*SignalResult, error)
+}
+
+func (s stubSignal) Name() string { return s.name }
+
+func (s stubSignal) Validate() error { return s.valErr }
+
+func (s stubSignal) Analyze(in *SignalInput) (*SignalResult, error) {
+	if s.analyze != nil {
+		return s.analyze(in)
+	}
+	return &SignalResult{
+		Suspects: map[vanet.NodeID]bool{s.flag: true},
+		Scores:   map[vanet.NodeID]float64{s.flag: 1},
+		Tested:   []vanet.NodeID{s.flag},
+	}, nil
+}
+
+func TestFusionOptionsValidate(t *testing.T) {
+	ok := stubSignal{name: "stub"}
+	cases := []struct {
+		name string
+		opts FusionOptions
+		want string // substring of the error; "" means valid
+	}{
+		{"zero value", FusionOptions{}, ""},
+		{"enabled no extras", FusionOptions{Enabled: true}, ""},
+		{"enabled with signal", FusionOptions{Enabled: true, Signals: []Signal{ok}}, ""},
+		{"disabled with signals", FusionOptions{Signals: []Signal{ok}}, "Enabled is false"},
+		{"nil signal", FusionOptions{Enabled: true, Signals: []Signal{nil}}, "is nil"},
+		{"empty name", FusionOptions{Enabled: true, Signals: []Signal{stubSignal{}}}, "empty name"},
+		{"reserved name", FusionOptions{Enabled: true, Signals: []Signal{stubSignal{name: SignalName}}}, "duplicate"},
+		{"duplicate name", FusionOptions{Enabled: true, Signals: []Signal{ok, ok}}, "duplicate"},
+		{"failing validate", FusionOptions{Enabled: true,
+			Signals: []Signal{stubSignal{name: "bad", valErr: ErrNonFiniteRSSI}}}, "bad"},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A bad fusion configuration must fail at monitor construction, not
+	// at round time.
+	cfg := DefaultConfig(testBoundary())
+	if _, err := NewMonitor(MonitorConfig{Detector: cfg,
+		Fusion: FusionOptions{Enabled: true, Signals: []Signal{nil}}}); err == nil {
+		t.Error("NewMonitor accepted a nil fusion signal")
+	}
+}
+
+// TestMonitorFusionAttribution: a fusion round must union the extra
+// signal's flags into Suspects, extend Considered with flagged
+// identities (the grading denominator requirement), and attribute every
+// flag in Result.Signals — while a fusion-off monitor leaves Signals nil.
+func TestMonitorFusionAttribution(t *testing.T) {
+	cfg := DefaultConfig(testBoundary())
+	cfg.MinMedianRSSIDBm = 0
+	extra := stubSignal{name: "stub", flag: 55}
+	m, err := NewMonitor(MonitorConfig{
+		Detector:         cfg,
+		ReorderTolerance: time.Hour,
+		Fusion:           FusionOptions{Enabled: true, Signals: []Signal{extra}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	series := sybilCluster(rng, 4)
+	for id, s := range series {
+		for i := 0; i < s.Len(); i++ {
+			smp := s.At(i)
+			if err := m.ObserveWithClaim(id, smp.T, smp.RSSI, 10, 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res, err := m.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Suspects[55] {
+		t.Fatalf("stub-flagged identity missing from fused suspects: %v", res.Suspects)
+	}
+	found := false
+	for _, id := range res.Considered {
+		if id == 55 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("flagged identity 55 not accounted in Considered %v", res.Considered)
+	}
+	attr := res.Signals[55]
+	if attr == nil || attr["stub"] != 1 {
+		t.Errorf("attribution for 55 = %v, want stub score 1", attr)
+	}
+
+	// Fusion off: same stream, no Signals map, no stub flag.
+	off, err := NewMonitor(MonitorConfig{Detector: cfg, ReorderTolerance: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(9))
+	series = sybilCluster(rng, 4)
+	for id, s := range series {
+		for i := 0; i < s.Len(); i++ {
+			smp := s.At(i)
+			if err := off.Observe(id, smp.T, smp.RSSI); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	plain, err := off.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Signals != nil {
+		t.Errorf("fusion-off round carries Signals: %v", plain.Signals)
+	}
+	if plain.Suspects[55] {
+		t.Error("fusion-off round flagged the stub identity")
+	}
+}

@@ -30,11 +30,16 @@ type MonitorState struct {
 	KnownSybil []vanet.NodeID
 }
 
-// IdentityState is one tracked identity's retained series.
+// IdentityState is one tracked identity's retained series, plus — on
+// fusion-enabled monitors — its retained claimed-position samples.
 type IdentityState struct {
 	ID      vanet.NodeID
 	LastObs time.Duration
 	Samples []timeseries.Sample
+	// Claims holds the identity's claimed-position evidence in reception
+	// order; empty on plain monitors and for identities whose beacons
+	// carried no position.
+	Claims []ClaimSample
 }
 
 // ConfirmState is one identity's K-of-N flag history, oldest first.
@@ -66,6 +71,9 @@ func (m *Monitor) State() *MonitorState {
 		}
 		for i := range ident.Samples {
 			ident.Samples[i] = s.At(i)
+		}
+		if cs := m.claims[id]; len(cs) > 0 {
+			ident.Claims = slices.Clone(cs)
 		}
 		st.Identities = append(st.Identities, ident)
 	}
@@ -118,6 +126,19 @@ func (m *Monitor) RestoreState(st *MonitorState) error {
 		}
 		m.series[ident.ID] = s
 		m.lastObs[ident.ID] = ident.LastObs
+		if len(ident.Claims) > 0 && m.claims != nil {
+			prev := time.Duration(-1 << 62)
+			for _, c := range ident.Claims {
+				if !finiteClaim(c) {
+					return fmt.Errorf("core: restore identity %d: %w", ident.ID, ErrNonFinitePosition)
+				}
+				if c.T < prev {
+					return fmt.Errorf("core: restore identity %d: claim time went backwards", ident.ID)
+				}
+				prev = c.T
+			}
+			m.claims[ident.ID] = slices.Clone(ident.Claims)
+		}
 		m.version += uint64(len(ident.Samples))
 		// Re-anchor the identity's observation version as if its samples
 		// had streamed in; the dirty-pair cache starts cold either way

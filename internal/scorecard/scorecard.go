@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"voiceprint/internal/core"
+	"voiceprint/internal/fusion"
 	"voiceprint/internal/lda"
 	"voiceprint/internal/metrics"
 	"voiceprint/internal/service"
@@ -95,6 +96,30 @@ func serviceConfig(maxRangeM float64) service.Config {
 	}
 }
 
+// FusionConfig layers the multi-signal fusion detector onto the plain
+// scorecard configuration: the claimed-position consistency signal
+// inside every monitor plus the cross-receiver clique coordinator on
+// the synchronized round path. Both run at their defaults — the graded
+// fusion posture is the out-of-the-box one, exactly as `voiceprintd
+// -fusion` deploys it.
+func FusionConfig(maxRangeM float64) (service.Config, error) {
+	cfg := serviceConfig(maxRangeM)
+	pos, err := fusion.NewPositionSignal(fusion.PositionConfig{})
+	if err != nil {
+		return service.Config{}, err
+	}
+	cfg.Registry.Monitor.Fusion = core.FusionOptions{
+		Enabled: true,
+		Signals: []core.Signal{pos},
+	}
+	coord, err := fusion.NewCoordinator(fusion.CoordinatorConfig{})
+	if err != nil {
+		return service.Config{}, err
+	}
+	cfg.Coordinator = coord
+	return cfg, nil
+}
+
 // Row is one scenario's grade. DR and FPR are the paper's Equations
 // 12-13: per-round per-receiver rates averaged over every round that
 // had the respective denominator. MeanTTCSeconds averages, over every
@@ -134,6 +159,15 @@ type recvID struct {
 
 // Run replays one scenario through a live daemon and grades it.
 func Run(ctx context.Context, spec Spec) (Row, error) {
+	return run(ctx, spec, false)
+}
+
+// RunFused is Run with the fusion detector enabled (FusionConfig).
+func RunFused(ctx context.Context, spec Spec) (Row, error) {
+	return run(ctx, spec, true)
+}
+
+func run(ctx context.Context, spec Spec, fused bool) (Row, error) {
 	cfg, err := vanet.DefaultCampaign(spec.Kind)
 	if err != nil {
 		return Row{}, err
@@ -159,9 +193,15 @@ func Run(ctx context.Context, spec Spec) (Row, error) {
 		falseConf   = make(map[recvID]bool)
 		duration    = time.Duration(cfg.DurationS * float64(time.Second))
 	)
+	svc := serviceConfig(cfg.MaxRangeM)
+	if fused {
+		if svc, err = FusionConfig(cfg.MaxRangeM); err != nil {
+			return Row{}, fmt.Errorf("scorecard: %s fusion config: %w", spec.Kind, err)
+		}
+	}
 	sc := &testkit.Scenario{
 		Records: records,
-		Service: serviceConfig(cfg.MaxRangeM),
+		Service: svc,
 		Period:  spec.Period,
 		OnRound: func(boundary time.Duration, outcomes []service.RoundOutcome) {
 			// The driver fires one trailing round past the end of the
@@ -269,10 +309,21 @@ func Run(ctx context.Context, spec Spec) (Row, error) {
 
 // RunAll grades every scenario in Specs order.
 func RunAll(ctx context.Context) (Card, error) {
+	return runAll(ctx, false)
+}
+
+// RunAllFused grades every scenario with the fusion detector enabled.
+// The result is committed as the second baseline (SCORECARD_fusion.json)
+// and gated in CI alongside the plain card.
+func RunAllFused(ctx context.Context) (Card, error) {
+	return runAll(ctx, true)
+}
+
+func runAll(ctx context.Context, fused bool) (Card, error) {
 	b := Boundary()
 	card := Card{Seed: CampaignSeed, BoundaryK: b.K, BoundaryB: b.B}
 	for _, spec := range Specs() {
-		row, err := Run(ctx, spec)
+		row, err := run(ctx, spec, fused)
 		if err != nil {
 			return Card{}, err
 		}

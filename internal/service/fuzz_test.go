@@ -21,6 +21,11 @@ func FuzzDecodeEvent(f *testing.F) {
 	f.Add([]byte(`{"type":"round","recv":7,"t_ms":0,"density":0,"considered":0,"suspects":[],"confirmed":[]}`))
 	f.Add([]byte(`{"type":"round","recv":7,"t_ms":0,"suspects":null,"confirmed":null}`))
 	f.Add([]byte(`{"type":"round","recv":7,"t_ms":1000,"error":"boom"}`))
+	f.Add([]byte(`{"type":"round","recv":901,"t_ms":20000,"considered":9,"suspects":[101,102],"confirmed":[101],"signals":{"101":{"voiceprint":0.0031,"position":18.2},"102":{"clique":1}}}`))
+	f.Add([]byte(`{"type":"round","recv":1,"t_ms":0,"signals":{}}`))
+	f.Add([]byte(`{"type":"round","recv":1,"t_ms":0,"signals":{"5":null}}`))
+	f.Add([]byte(`{"type":"round","recv":1,"t_ms":0,"signals":{"5":{"":1}}}`))
+	f.Add([]byte(`{"type":"round","recv":1,"t_ms":0,"signals":{"5":{"position":1e999}}}`))
 	f.Add([]byte(`{"type":"round","recv":1,"t_ms":-5}`))
 	f.Add([]byte(`{"recv":1,"t_ms":5}`))
 	f.Add([]byte(`{"type":"round","t_ms":0,"density":1e999}`))
@@ -61,6 +66,7 @@ func FuzzDecodeEvent(f *testing.F) {
 // subsequent frame of the stream is gone.
 func FuzzLineScanner(f *testing.F) {
 	f.Add([]byte("{\"recv\":1}\nshort\n"), 8)
+	f.Add([]byte("{\"recv\":9,\"sender\":2,\"t_ms\":5,\"rssi\":-70,\"schema\":1,\"pos\":{\"x\":1.5,\"y\":-2}}\n"), 96)
 	f.Add([]byte(strings.Repeat("x", 300)+"\nok\n"), 16)
 	f.Add([]byte("tail with no newline"), 64)
 	f.Add([]byte("\n\n\r\n"), 4)

@@ -44,11 +44,34 @@ import (
 // sender the claimed identity of the transmitter, t_ms the receiver's
 // beacon timestamp in milliseconds since its stream epoch, rssi the
 // measured signal strength in dBm.
+//
+// Schema-1 clients may additionally attach the beacon's claimed sender
+// position:
+//
+//	{"recv":901,"sender":102,"t_ms":18400,"rssi":-71.25,
+//	 "schema":1,"pos":{"x":42.5,"y":-3.75}}
+//
+// pos is the claimed position relative to the receiver, meters, so the
+// claimed range is hypot(x, y). Both fields are optional: position-less
+// schema-0 lines parse exactly as before, and a schema-0 daemon ignores
+// pos.
 type Observation struct {
 	Recv   vanet.NodeID `json:"recv"`
 	Sender vanet.NodeID `json:"sender"`
 	TMs    int64        `json:"t_ms"`
 	RSSI   float64      `json:"rssi"`
+	// Schema versions the optional trailing fields; 0 (omitted) is the
+	// original position-less form, 1 adds pos.
+	Schema int `json:"schema,omitempty"`
+	// Pos is the claimed sender position relative to the receiver,
+	// meters. Nil when the beacon carried no position.
+	Pos *Position `json:"pos,omitempty"`
+}
+
+// Position is a claimed planar position in the receiver's local frame.
+type Position struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // T returns the observation timestamp as a stream offset.
@@ -68,6 +91,15 @@ func ParseObservation(line []byte) (Observation, error) {
 	}
 	if math.IsNaN(o.RSSI) || math.IsInf(o.RSSI, 0) {
 		return Observation{}, fmt.Errorf("%w: non-finite rssi", ErrMalformed)
+	}
+	if o.Schema < 0 || o.Schema > 1 {
+		return Observation{}, fmt.Errorf("%w: unsupported schema %d", ErrMalformed, o.Schema)
+	}
+	if o.Pos != nil {
+		if math.IsNaN(o.Pos.X) || math.IsInf(o.Pos.X, 0) ||
+			math.IsNaN(o.Pos.Y) || math.IsInf(o.Pos.Y, 0) {
+			return Observation{}, fmt.Errorf("%w: non-finite pos", ErrMalformed)
+		}
 	}
 	return o, nil
 }
@@ -91,6 +123,12 @@ type Event struct {
 	Confirmed  []vanet.NodeID `json:"confirmed"`
 	LatencyMs  float64        `json:"latency_ms,omitempty"`
 	Error      string         `json:"error,omitempty"`
+	// Signals carries per-suspect, per-signal attribution on
+	// fusion-enabled rounds: which signal flagged the identity and with
+	// what strength, e.g. {"101":{"voiceprint":0.0031,"position":18.2}}.
+	// Omitted entirely when fusion is off, so plain events stay
+	// byte-identical to the pre-fusion encoding.
+	Signals map[vanet.NodeID]map[string]float64 `json:"signals,omitempty"`
 }
 
 // EventFromOutcome renders a completed round as a wire event.
@@ -110,6 +148,7 @@ func EventFromOutcome(o RoundOutcome) Event {
 	ev.Skipped = o.Result.Skipped
 	ev.Suspects = sortedIDs(o.Result.Suspects)
 	ev.Confirmed = sortedIDs(o.Confirmed)
+	ev.Signals = o.Result.Signals
 	return ev
 }
 
@@ -155,11 +194,29 @@ func DecodeEvent(line []byte) (Event, error) {
 			return Event{}, fmt.Errorf("%w: non-finite event field", ErrMalformed)
 		}
 	}
+	for id, attr := range e.Signals {
+		if attr == nil {
+			return Event{}, fmt.Errorf("%w: null signal attribution for %d", ErrMalformed, id)
+		}
+		for name, v := range attr {
+			if name == "" {
+				return Event{}, fmt.Errorf("%w: empty signal name for %d", ErrMalformed, id)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Event{}, fmt.Errorf("%w: non-finite %s signal score for %d", ErrMalformed, name, id)
+			}
+		}
+	}
 	if e.Suspects == nil {
 		e.Suspects = []vanet.NodeID{}
 	}
 	if e.Confirmed == nil {
 		e.Confirmed = []vanet.NodeID{}
+	}
+	// An empty signals object re-encodes as an omitted field (omitempty),
+	// so canonicalize it to nil to keep Encode→Decode a fixed point.
+	if len(e.Signals) == 0 {
+		e.Signals = nil
 	}
 	return e, nil
 }

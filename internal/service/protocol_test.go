@@ -47,6 +47,34 @@ func TestParseObservationRejectsNonFinite(t *testing.T) {
 	}
 }
 
+func TestParseObservationSchema1(t *testing.T) {
+	o, err := ParseObservation([]byte(`{"recv":901,"sender":102,"t_ms":18400,"rssi":-71.25,"schema":1,"pos":{"x":42.5,"y":-3.75}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Schema != 1 || o.Pos == nil || o.Pos.X != 42.5 || o.Pos.Y != -3.75 {
+		t.Errorf("schema-1 parse = %+v", o)
+	}
+	// A schema-0 line must parse exactly as before the field existed.
+	o, err = ParseObservation([]byte(`{"recv":901,"sender":102,"t_ms":18400,"rssi":-71.25}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Schema != 0 || o.Pos != nil {
+		t.Errorf("schema-0 line grew optional fields: %+v", o)
+	}
+	for _, bad := range []string{
+		`{"recv":1,"sender":2,"t_ms":0,"rssi":-70,"schema":2}`,
+		`{"recv":1,"sender":2,"t_ms":0,"rssi":-70,"schema":-1}`,
+		`{"recv":1,"sender":2,"t_ms":0,"rssi":-70,"schema":1,"pos":{"x":1e999,"y":0}}`,
+		`{"recv":1,"sender":2,"t_ms":0,"rssi":-70,"schema":1,"pos":{"x":0,"y":-1e999}}`,
+	} {
+		if _, err := ParseObservation([]byte(bad)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("ParseObservation(%q) err = %v, want ErrMalformed", bad, err)
+		}
+	}
+}
+
 func TestEventEncodeRoundTrip(t *testing.T) {
 	out := RoundOutcome{
 		Recv:    901,
@@ -85,6 +113,59 @@ func TestEventEncodeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEventSignalsGolden pins the exact wire bytes of a fusion round
+// event (integer identity keys marshal as sorted strings) and proves a
+// fusion-off round still encodes byte-identically to the pre-fusion
+// protocol — no "signals" key at all.
+func TestEventSignalsGolden(t *testing.T) {
+	out := RoundOutcome{
+		Recv: 901,
+		At:   20 * time.Second,
+		Result: &core.Result{
+			Suspects:   map[vanet.NodeID]bool{101: true, 102: true},
+			Considered: []vanet.NodeID{1, 101, 102},
+			Density:    4.5,
+			Signals: map[vanet.NodeID]map[string]float64{
+				101: {"voiceprint": 0.0031, "position": 18.2},
+				102: {"clique": 1},
+			},
+		},
+		Confirmed: map[vanet.NodeID]bool{101: true},
+	}
+	const goldenFused = `{"type":"round","recv":901,"t_ms":20000,"density":4.5,"considered":3,"suspects":[101,102],"confirmed":[101],"signals":{"101":{"position":18.2,"voiceprint":0.0031},"102":{"clique":1}}}` + "\n"
+	if got := string(EventFromOutcome(out).Encode()); got != goldenFused {
+		t.Errorf("fused event bytes:\n got %s want %s", got, goldenFused)
+	}
+
+	out.Result.Signals = nil // fusion off
+	const goldenPlain = `{"type":"round","recv":901,"t_ms":20000,"density":4.5,"considered":3,"suspects":[101,102],"confirmed":[101]}` + "\n"
+	if got := string(EventFromOutcome(out).Encode()); got != goldenPlain {
+		t.Errorf("plain event bytes:\n got %s want %s", got, goldenPlain)
+	}
+
+	// An old client — modeled by DecodeEvent, whose validation predates
+	// fusion for every other field — accepts both lines.
+	for _, line := range []string{goldenFused, goldenPlain} {
+		ev, err := DecodeEvent([]byte(line))
+		if err != nil {
+			t.Fatalf("DecodeEvent(%q): %v", line, err)
+		}
+		if again := string(ev.Encode()); again != line {
+			t.Errorf("decode/encode not a fixed point:\n got %s want %s", again, line)
+		}
+	}
+
+	for _, bad := range []string{
+		`{"type":"round","recv":1,"t_ms":0,"signals":{"5":null}}`,
+		`{"type":"round","recv":1,"t_ms":0,"signals":{"5":{"":1}}}`,
+		`{"type":"round","recv":1,"t_ms":0,"signals":{"5":{"position":1e999}}}`,
+	} {
+		if _, err := DecodeEvent([]byte(bad)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("DecodeEvent(%q) err = %v, want ErrMalformed", bad, err)
+		}
+	}
+}
+
 func TestEventEncodeEmptyAndError(t *testing.T) {
 	line := EventFromOutcome(RoundOutcome{Recv: 7, Result: &core.Result{}}).Encode()
 	s := string(line)
@@ -115,7 +196,7 @@ func TestAdminHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	h := AdminHandler(m, reg)
+	h := NewAdminHandler(AdminConfig{Metrics: m, Registry: reg})
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
@@ -137,6 +218,23 @@ func TestAdminHandler(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q in:\n%s", want, body)
 		}
+	}
+}
+
+// TestAdminHandlerLegacyShim is the dedicated coverage for the
+// deprecated two-argument constructor; every other caller has migrated
+// to NewAdminHandler with an AdminConfig.
+func TestAdminHandlerLegacyShim(t *testing.T) {
+	m := &Metrics{}
+	reg, err := NewRegistry(RegistryConfig{Monitor: testMonitorConfig()}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := AdminHandler(m, reg)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "ok" {
+		t.Errorf("/healthz via shim = %d %q", rec.Code, rec.Body.String())
 	}
 }
 

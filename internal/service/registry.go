@@ -98,7 +98,14 @@ func (r *Registry) Observe(o Observation) error {
 	if l := r.journal; l != nil {
 		l.Begin()
 		defer l.End()
-		_ = l.AppendObservation(o.Recv, o.Sender, o.T(), o.RSSI)
+		if o.Pos != nil {
+			// Positioned beacons journal their claim even on fusion-off
+			// daemons: the kind-3 record replays as a plain observation
+			// there, and keeps the evidence for a later fusion-on restart.
+			_ = l.AppendObservationPos(o.Recv, o.Sender, o.T(), o.RSSI, o.Pos.X, o.Pos.Y)
+		} else {
+			_ = l.AppendObservation(o.Recv, o.Sender, o.T(), o.RSSI)
+		}
 	}
 	return r.observe(o)
 }
@@ -114,9 +121,19 @@ func (r *Registry) observe(o Observation) error {
 		r.metrics.ReceiversRejected.Add(1)
 		return nil
 	}
-	err = mon.Observe(o.Sender, o.T(), o.RSSI)
+	if o.Pos != nil {
+		err = mon.ObserveWithClaim(o.Sender, o.T(), o.RSSI, o.Pos.X, o.Pos.Y)
+	} else {
+		err = mon.Observe(o.Sender, o.T(), o.RSSI)
+	}
 	if errors.Is(err, core.ErrTimeBackwards) {
 		r.metrics.StaleDropped.Add(1)
+		return nil
+	}
+	if errors.Is(err, core.ErrNonFinitePosition) {
+		// The wire parser already rejects non-finite positions; this
+		// guards the replay path, where claim bits come straight off disk.
+		r.metrics.MalformedDropped.Add(1)
 		return nil
 	}
 	if errors.Is(err, core.ErrNonFiniteRSSI) {

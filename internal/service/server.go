@@ -76,6 +76,22 @@ type Config struct {
 	// on the next NewServer before ingest starts. Nil keeps today's
 	// purely in-memory behavior at zero cost.
 	WAL *WALConfig
+	// Coordinator, when non-nil, post-processes every synchronized
+	// detection sweep (DetectNow / replay boundaries) across receivers —
+	// the hook the fusion clique signal uses to correlate verdicts
+	// cross-receiver. The asynchronous Tick path is deliberately
+	// uncoordinated: its per-receiver rounds complete at different times,
+	// so a cross-receiver pass there would race the very sweep it
+	// correlates; Tick rounds carry per-receiver fusion verdicts only.
+	Coordinator RoundCoordinator
+}
+
+// RoundCoordinator correlates one synchronized sweep of round outcomes
+// across receivers. Implementations must treat the input as read-only —
+// Result values are shared with each monitor's round cache — and return
+// either the input slice or a copy with cloned, adjusted Results.
+type RoundCoordinator interface {
+	Coordinate(outs []RoundOutcome) []RoundOutcome
 }
 
 // WALConfig configures the durability subsystem (Config.WAL).
@@ -264,6 +280,11 @@ func (s *Server) openWAL() error {
 		switch r.Kind {
 		case wal.KindObservation:
 			return s.reg.Observe(Observation{Recv: r.Recv, Sender: r.Sender, TMs: r.T.Milliseconds(), RSSI: r.RSSI})
+		case wal.KindObservationPos:
+			return s.reg.Observe(Observation{
+				Recv: r.Recv, Sender: r.Sender, TMs: r.T.Milliseconds(), RSSI: r.RSSI,
+				Schema: 1, Pos: &Position{X: r.X, Y: r.Y},
+			})
 		case wal.KindRound:
 			s.sched.DetectOne(r.Recv, r.At)
 		}
@@ -459,10 +480,14 @@ func (s *Server) snapshotBackground() {
 }
 
 // DetectNow synchronously runs one round for every receiver (window
-// ending at each receiver's newest observation), broadcasts the verdict
-// events, and returns the outcomes in ascending receiver order.
+// ending at each receiver's newest observation), runs the cross-receiver
+// coordinator (when configured), broadcasts the verdict events, and
+// returns the outcomes in ascending receiver order.
 func (s *Server) DetectNow() []RoundOutcome {
 	outs := s.sched.DetectAll(-1)
+	if s.cfg.Coordinator != nil {
+		outs = s.cfg.Coordinator.Coordinate(outs)
+	}
 	for _, out := range outs {
 		s.broadcast(out)
 	}

@@ -424,12 +424,20 @@ func (s *Scenario) Run(ctx context.Context) (Report, error) {
 			}
 			nb += period
 		}
-		line, err := json.Marshal(service.Observation{
+		obs := service.Observation{
 			Recv:   rec.Receiver,
 			Sender: rec.Sender,
 			TMs:    rec.T.Milliseconds(),
 			RSSI:   rec.RSSI,
-		})
+		}
+		if rec.Pos != nil {
+			// Positioned trace records ride as schema-1 lines; a plain
+			// (fusion-off) daemon parses and ignores the claim, so the same
+			// trace drives both configurations.
+			obs.Schema = 1
+			obs.Pos = &service.Position{X: rec.Pos.X, Y: rec.Pos.Y}
+		}
+		line, err := json.Marshal(obs)
 		if err != nil {
 			return fail(err)
 		}

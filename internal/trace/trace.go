@@ -19,12 +19,24 @@ import (
 	"voiceprint/internal/vanet"
 )
 
-// Record is one received beacon in a portable form.
+// Position is a claimed sender position in the receiver's local frame
+// (claimed minus receiver position, meters).
+type Position struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Record is one received beacon in a portable form. Pos carries the
+// sender's claimed position when the log recorded one (schema v2);
+// position-less v1 traces marshal byte-identically to before. The CSV
+// form stays the four-column v1 layout — the campaign golden hashes pin
+// it — so claimed positions ride only the JSON and NDJSON forms.
 type Record struct {
 	Receiver vanet.NodeID  `json:"receiver"`
 	Sender   vanet.NodeID  `json:"sender"`
 	T        time.Duration `json:"t"`
 	RSSI     float64       `json:"rssi"`
+	Pos      *Position     `json:"pos,omitempty"`
 }
 
 // FromLog flattens one receiver's reception log into records sorted by
@@ -33,12 +45,16 @@ func FromLog(log *vanet.ReceptionLog) []Record {
 	var out []Record
 	for sender, l := range log.PerIdentity {
 		for _, o := range l.Obs {
-			out = append(out, Record{
+			rec := Record{
 				Receiver: log.Receiver,
 				Sender:   sender,
 				T:        o.T,
 				RSSI:     o.RSSI,
-			})
+			}
+			if o.ClaimedX != 0 || o.ClaimedY != 0 || o.ClaimedDist != 0 {
+				rec.Pos = &Position{X: o.ClaimedX, Y: o.ClaimedY}
+			}
+			out = append(out, rec)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -345,6 +345,8 @@ func (e *Engine) broadcast() {
 						T:           e.now,
 						RSSI:        rssi,
 						ClaimedDist: mobility.Distance(claimed, rxPos),
+						ClaimedX:    claimed.X - rxPos.X,
+						ClaimedY:    claimed.Y - rxPos.Y,
 						TrueDist:    trueDist,
 					})
 				case channel.LostBelowSensitivity:

@@ -192,6 +192,12 @@ type Obs struct {
 	// *claimed* position, which position-verification baselines test
 	// against the RSSI.
 	ClaimedDist float64
+	// ClaimedX and ClaimedY are the sender's claimed position expressed
+	// in the receiver's local frame (claimed minus receiver position,
+	// meters), so ClaimedDist == hypot(ClaimedX, ClaimedY). This is what
+	// a real receiver can compute from a beacon's position field and its
+	// own GPS, and what the fusion position signal consumes.
+	ClaimedX, ClaimedY float64
 	// TrueDist is the ground-truth distance to the physical transmitter,
 	// kept for diagnostics and experiments (never given to detectors).
 	TrueDist float64

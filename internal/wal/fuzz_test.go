@@ -33,9 +33,15 @@ func FuzzWALRecord(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	posFrame, err := AppendRecord(nil, Record{Kind: KindObservationPos, Recv: 901, Sender: 102, T: 18400 * time.Millisecond, RSSI: -71.25, X: 42.5, Y: -3.75})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(obsFrame)
 	f.Add(roundFrame)
 	f.Add(liveRound)
+	f.Add(posFrame)
+	f.Add(posFrame[:len(posFrame)-8])      // positioned observation torn mid-coordinates
 	f.Add(append(obsFrame, roundFrame...)) // back-to-back frames
 	f.Add(obsFrame[:3])                    // torn header
 	f.Add(obsFrame[:frameHeader+2])        // torn payload
@@ -73,11 +79,14 @@ func FuzzWALRecord(f *testing.F) {
 		if n2 != len(frame) {
 			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(frame))
 		}
-		// Compare RSSI as bits so a NaN payload (valid: any float64 bit
+		// Compare floats as bits so a NaN payload (valid: any float64 bit
 		// pattern is journalable) compares equal to itself.
-		sameRSSI := math.Float64bits(rec.RSSI) == math.Float64bits(rec2.RSSI)
+		sameFloats := math.Float64bits(rec.RSSI) == math.Float64bits(rec2.RSSI) &&
+			math.Float64bits(rec.X) == math.Float64bits(rec2.X) &&
+			math.Float64bits(rec.Y) == math.Float64bits(rec2.Y)
 		rec.RSSI, rec2.RSSI = 0, 0
-		if rec != rec2 || !sameRSSI {
+		rec.X, rec2.X, rec.Y, rec2.Y = 0, 0, 0, 0
+		if rec != rec2 || !sameFloats {
 			t.Fatalf("decode not idempotent: %+v vs %+v", rec, rec2)
 		}
 	})
@@ -90,6 +99,7 @@ func FuzzSnapshotPayload(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{snapVersion})
 	f.Add([]byte{snapVersion, 0})
+	f.Add([]byte{1, 0}) // empty version-1 (pre-fusion) payload
 	f.Add(encodeStates(nil, nil))
 	f.Add([]byte{0xff, 0x01, 0x02})
 

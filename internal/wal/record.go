@@ -38,10 +38,16 @@ const (
 	// the round at the same window end; At < 0 means a live round
 	// (window ending at the receiver's newest observation).
 	KindRound Kind = 2
+	// KindObservationPos journals an ingest step whose beacon carried a
+	// claimed sender position (X, Y: claimed minus receiver position,
+	// meters). Replay reconstructs the fusion signals' claim evidence;
+	// a fusion-off daemon replays it as a plain observation. Logs
+	// written before this kind existed decode unchanged.
+	KindObservationPos Kind = 3
 )
 
 // Record is one journaled event. Observations carry Recv, Sender, T and
-// RSSI; rounds carry Recv and At.
+// RSSI (positioned ones add X and Y); rounds carry Recv and At.
 type Record struct {
 	Kind   Kind
 	Recv   vanet.NodeID
@@ -49,6 +55,7 @@ type Record struct {
 	T      time.Duration
 	RSSI   float64
 	At     time.Duration
+	X, Y   float64
 }
 
 // Framing: [uint32 LE payload length][uint32 LE CRC32C(payload)][payload].
@@ -96,6 +103,14 @@ func AppendRecord(dst []byte, r Record) ([]byte, error) {
 		dst = append(dst, byte(KindRound))
 		dst = binary.AppendUvarint(dst, uint64(r.Recv))
 		dst = binary.AppendVarint(dst, int64(r.At))
+	case KindObservationPos:
+		dst = append(dst, byte(KindObservationPos))
+		dst = binary.AppendUvarint(dst, uint64(r.Recv))
+		dst = binary.AppendUvarint(dst, uint64(r.Sender))
+		dst = binary.AppendVarint(dst, int64(r.T))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.RSSI))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.X))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Y))
 	default:
 		return dst[:start], fmt.Errorf("%w: unknown kind %d", ErrBadRecord, r.Kind)
 	}
@@ -138,7 +153,7 @@ func decodePayload(p []byte, r *Record) error {
 	r.Kind = Kind(p[0])
 	p = p[1:]
 	switch r.Kind {
-	case KindObservation:
+	case KindObservation, KindObservationPos:
 		recv, p, err := takeNodeID(p, "recv")
 		if err != nil {
 			return err
@@ -152,12 +167,20 @@ func decodePayload(p []byte, r *Record) error {
 			return fmt.Errorf("%w: bad t varint", ErrBadRecord)
 		}
 		p = p[n:]
-		if len(p) != 8 {
-			return fmt.Errorf("%w: %d rssi bytes of 8", ErrBadRecord, len(p))
+		want := 8
+		if r.Kind == KindObservationPos {
+			want = 24
+		}
+		if len(p) != want {
+			return fmt.Errorf("%w: %d float bytes of %d", ErrBadRecord, len(p), want)
 		}
 		r.Recv, r.Sender = recv, sender
 		r.T = time.Duration(t)
 		r.RSSI = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		if r.Kind == KindObservationPos {
+			r.X = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+			r.Y = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+		}
 	case KindRound:
 		recv, p, err := takeNodeID(p, "recv")
 		if err != nil {

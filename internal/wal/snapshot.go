@@ -44,7 +44,10 @@ const (
 	snapMagic  = "VPWALSNP"
 	snapHeader = 24
 	// snapVersion tags the payload encoding; bump on layout changes.
-	snapVersion = 1
+	// Version 1 had no per-identity claim block; version 2 adds one
+	// (fusion claimed-position evidence). decodeStates accepts both so a
+	// fusion-enabled daemon restores pre-fusion snapshots unchanged.
+	snapVersion = 2
 )
 
 // Snapshot rotates the active segment, captures the monitor fleet via
@@ -187,9 +190,10 @@ func loadSnapshot(path string) (*snapshotDoc, error) {
 // encodeStates packs the receiver states. Layout (all varints unless
 // noted): version byte, receiver count, then per receiver: recv, then
 // the MonitorState — Now, Evicted, identity count, per identity (id,
-// lastObs, sample count, per sample (t, 8-byte RSSI bits)), confirm
-// count, per entry (id, flag count, one byte per flag), known-Sybil
-// count, per entry (id).
+// lastObs, sample count, per sample (t, 8-byte RSSI bits), claim count,
+// per claim (t, 8-byte X bits, 8-byte Y bits, 8-byte RSSI bits)),
+// confirm count, per entry (id, flag count, one byte per flag),
+// known-Sybil count, per entry (id).
 func encodeStates(dst []byte, states []ReceiverState) []byte {
 	dst = append(dst, snapVersion)
 	dst = binary.AppendUvarint(dst, uint64(len(states)))
@@ -206,6 +210,13 @@ func encodeStates(dst []byte, states []ReceiverState) []byte {
 			for _, smp := range ident.Samples {
 				dst = binary.AppendVarint(dst, int64(smp.T))
 				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(smp.RSSI))
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(ident.Claims)))
+			for _, c := range ident.Claims {
+				dst = binary.AppendVarint(dst, int64(c.T))
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.X))
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Y))
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.RSSI))
 			}
 		}
 		dst = binary.AppendUvarint(dst, uint64(len(st.Confirm)))
@@ -320,8 +331,9 @@ func decodeStates(p []byte) ([]ReceiverState, error) {
 	if len(p) == 0 {
 		return nil, fmt.Errorf("%w: empty snapshot payload", ErrShortFrame)
 	}
-	if p[0] != snapVersion {
-		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrBadRecord, p[0])
+	version := p[0]
+	if version != 1 && version != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrBadRecord, version)
 	}
 	r := &stateReader{p: p[1:]}
 	n := r.count("receivers", maxSnapReceivers)
@@ -341,6 +353,17 @@ func decodeStates(p []byte) ([]ReceiverState, error) {
 					T:    time.Duration(r.varint("t")),
 					RSSI: r.float("rssi"),
 				})
+			}
+			if version >= 2 {
+				ncl := r.count("claims", maxSnapSamples)
+				for k := 0; k < ncl && r.err == nil; k++ {
+					ident.Claims = append(ident.Claims, core.ClaimSample{
+						T:    time.Duration(r.varint("claim t")),
+						X:    r.float("claim x"),
+						Y:    r.float("claim y"),
+						RSSI: r.float("claim rssi"),
+					})
+				}
 			}
 			st.Identities = append(st.Identities, ident)
 		}

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"encoding/binary"
 	"errors"
 	"math"
 	"os"
@@ -22,6 +23,8 @@ func TestRecordRoundTrip(t *testing.T) {
 		{Kind: KindObservation, Recv: math.MaxUint32, Sender: math.MaxUint32, T: 72 * time.Hour, RSSI: -120.5},
 		{Kind: KindRound, Recv: 901, At: 20 * time.Second},
 		{Kind: KindRound, Recv: 7, At: -1}, // live round marker
+		{Kind: KindObservationPos, Recv: 901, Sender: 102, T: 18400 * time.Millisecond, RSSI: -71.25, X: 42.5, Y: -3.75},
+		{Kind: KindObservationPos, Recv: 1, Sender: 2, T: time.Second, RSSI: -60, X: 0, Y: -250.25},
 	}
 	var buf []byte
 	for _, r := range records {
@@ -499,5 +502,165 @@ func TestStatusTracksSnapshotLag(t *testing.T) {
 	st := l.Status()
 	if st.SinceSnapshotBytes != 0 || st.LastSnapshotSegment == 0 || st.LastSnapshotAt.IsZero() {
 		t.Errorf("post-snapshot status = %+v", st)
+	}
+}
+
+// fusedTestStates builds a monitor state carrying claimed-position
+// evidence, exercising the version-2 claims block.
+func fusedTestStates(t *testing.T) []ReceiverState {
+	t.Helper()
+	mon, err := core.NewMonitor(core.MonitorConfig{
+		Detector:      core.DefaultConfig(lda.Boundary{K: 0.000025, B: 0.0067}),
+		ConfirmWindow: 3,
+		ConfirmNeed:   2,
+		Fusion:        core.FusionOptions{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		at := time.Duration(i) * 400 * time.Millisecond
+		for _, id := range []vanet.NodeID{101, 102} {
+			if err := mon.ObserveWithClaim(id, at, -60-float64(i%9), 30+float64(i), -5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := mon.Observe(1, at, -55-float64((i*3)%11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mon.Detect(); err != nil {
+		t.Fatal(err)
+	}
+	return []ReceiverState{{Recv: 901, State: mon.State()}}
+}
+
+// TestSnapshotClaimsRoundTrip: a fused monitor's claimed-position
+// evidence must survive encode → decode → RestoreState bit-exactly.
+func TestSnapshotClaimsRoundTrip(t *testing.T) {
+	states := fusedTestStates(t)
+	hasClaims := false
+	for _, ident := range states[0].State.Identities {
+		if len(ident.Claims) > 0 {
+			hasClaims = true
+		}
+	}
+	if !hasClaims {
+		t.Fatal("test state carries no claims")
+	}
+	decoded, err := decodeStates(encodeStates(nil, states))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, states) {
+		t.Error("claims did not survive the snapshot round trip")
+	}
+	mon, err := core.NewMonitor(core.MonitorConfig{
+		Detector:      core.DefaultConfig(lda.Boundary{K: 0.000025, B: 0.0067}),
+		ConfirmWindow: 3,
+		ConfirmNeed:   2,
+		Fusion:        core.FusionOptions{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.RestoreState(decoded[0].State); err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.State(); !reflect.DeepEqual(got, states[0].State) {
+		t.Error("restored monitor state differs from the snapshotted one")
+	}
+}
+
+// encodeStatesV1 reproduces the version-1 (pre-fusion) payload layout:
+// identical to version 2 minus the per-identity claims block.
+func encodeStatesV1(states []ReceiverState) []byte {
+	dst := []byte{1}
+	dst = binary.AppendUvarint(dst, uint64(len(states)))
+	for _, rs := range states {
+		dst = binary.AppendUvarint(dst, uint64(rs.Recv))
+		st := rs.State
+		dst = binary.AppendVarint(dst, int64(st.Now))
+		dst = binary.AppendUvarint(dst, st.Evicted)
+		dst = binary.AppendUvarint(dst, uint64(len(st.Identities)))
+		for _, ident := range st.Identities {
+			dst = binary.AppendUvarint(dst, uint64(ident.ID))
+			dst = binary.AppendVarint(dst, int64(ident.LastObs))
+			dst = binary.AppendUvarint(dst, uint64(len(ident.Samples)))
+			for _, smp := range ident.Samples {
+				dst = binary.AppendVarint(dst, int64(smp.T))
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(smp.RSSI))
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(st.Confirm)))
+		for _, c := range st.Confirm {
+			dst = binary.AppendUvarint(dst, uint64(c.ID))
+			dst = binary.AppendUvarint(dst, uint64(len(c.Flags)))
+			for _, f := range c.Flags {
+				b := byte(0)
+				if f {
+					b = 1
+				}
+				dst = append(dst, b)
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(st.KnownSybil)))
+		for _, id := range st.KnownSybil {
+			dst = binary.AppendUvarint(dst, uint64(id))
+		}
+	}
+	return dst
+}
+
+// TestSnapshotV1Compat: a pre-fusion snapshot (version 1, no claims
+// block) must decode on a fusion-era daemon with empty claims.
+func TestSnapshotV1Compat(t *testing.T) {
+	states := testStates(t)
+	decoded, err := decodeStates(encodeStatesV1(states))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, states) {
+		t.Errorf("v1 payload decoded differently:\n got %+v\nwant %+v", decoded, states)
+	}
+	for _, ident := range decoded[0].State.Identities {
+		if len(ident.Claims) > 0 {
+			t.Errorf("v1 decode invented claims for %d", ident.ID)
+		}
+	}
+	if _, err := decodeStates([]byte{3, 0}); err == nil {
+		t.Error("unknown snapshot version accepted")
+	}
+}
+
+// TestAppendObservationPosReplay: positioned observations journal as
+// kind-3 records and replay with their coordinates intact.
+func TestAppendObservationPosReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendObservation(901, 102, time.Second, -71); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendObservationPos(901, 103, 2*time.Second, -68.5, 42.5, -3.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, rec)
+	want := []Record{
+		{Kind: KindObservation, Recv: 901, Sender: 102, T: time.Second, RSSI: -71},
+		{Kind: KindObservationPos, Recv: 901, Sender: 103, T: 2 * time.Second, RSSI: -68.5, X: 42.5, Y: -3.75},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replayed %+v, want %+v", got, want)
 	}
 }
