@@ -10,6 +10,7 @@
 //	go build -o bin/voiceprintvet ./cmd/voiceprintvet
 //	go vet -vettool=bin/voiceprintvet ./...   # full modular analysis
 //	bin/voiceprintvet ./...                   # standalone, non-test files
+//	bin/voiceprintvet escape ./...            # noescape budget gate (-m=2)
 //	bin/voiceprintvet help                    # list analyzers
 //
 // Suppress a deliberate exception with
@@ -21,7 +22,12 @@
 package main
 
 import (
+	"os"
+
 	"voiceprint/internal/analysis/deprecated"
+	"voiceprint/internal/analysis/escapebudget"
+	"voiceprint/internal/analysis/goroutinehygiene"
+	"voiceprint/internal/analysis/lockdiscipline"
 	"voiceprint/internal/analysis/metricnames"
 	"voiceprint/internal/analysis/nondeterminism"
 	"voiceprint/internal/analysis/nonfinite"
@@ -30,11 +36,19 @@ import (
 )
 
 func main() {
+	// The escape gate cannot run under the unitchecker protocol (go vet
+	// never forwards -m diagnostics to vettools), so it dispatches
+	// before the protocol handshake.
+	if len(os.Args) > 1 && os.Args[1] == "escape" {
+		os.Exit(escapebudget.Main(os.Args[2:]))
+	}
 	vet.Main(
 		nondeterminism.Analyzer,
 		nonfinite.Analyzer,
 		observerguard.Analyzer,
 		metricnames.Analyzer,
 		deprecated.Analyzer,
+		lockdiscipline.Analyzer,
+		goroutinehygiene.Analyzer,
 	)
 }

@@ -1,0 +1,204 @@
+package escapebudget_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"voiceprint/internal/analysis/escapebudget"
+)
+
+const fixtureFile = "testdata/escapes/escapes.go"
+
+func goldenDiags(t *testing.T) []escapebudget.Diagnostic {
+	t.Helper()
+	f, err := os.Open("testdata/m2.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	return escapebudget.ParseDiagnostics(f)
+}
+
+func parseFixture(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, fixtureFile, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// TestParseGolden pins the -m=2 parse against a captured compiler
+// output: headers and flow-detail lines dropped, trailing-colon
+// duplicates collapsed.
+func TestParseGolden(t *testing.T) {
+	diags := goldenDiags(t)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics parsed from golden fixture")
+	}
+	seen := make(map[escapebudget.Diagnostic]bool)
+	for _, d := range diags {
+		if strings.HasPrefix(d.File, "#") {
+			t.Errorf("package header leaked into diagnostics: %+v", d)
+		}
+		if strings.HasSuffix(d.Message, ":") {
+			t.Errorf("trailing-colon detail header not trimmed: %q", d.Message)
+		}
+		if strings.HasPrefix(d.Message, "flow:") || strings.HasPrefix(d.Message, "from ") {
+			t.Errorf("flow detail line parsed as diagnostic: %q", d.Message)
+		}
+		if seen[d] {
+			t.Errorf("duplicate diagnostic survived dedupe: %+v", d)
+		}
+		seen[d] = true
+	}
+	want := []escapebudget.Diagnostic{
+		{File: fixtureFile, Line: 27, Col: 12, Message: "moved to heap: n"},
+		{File: fixtureFile, Line: 27, Col: 12, Message: "n escapes to heap"},
+		{File: fixtureFile, Line: 46, Col: 11, Message: "leaking param: xs to result ~r0 level=0"},
+		{File: fixtureFile, Line: 52, Col: 2, Message: "moved to heap: y"},
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("golden parse missing %+v", w)
+		}
+	}
+}
+
+func TestViolation(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want bool
+	}{
+		{"moved to heap: x", true},
+		{"n escapes to heap", true},
+		{"&Series{} escapes to heap", true},
+		{"make([]float64, n) escapes to heap", true},
+		{"leaking param: a", false},
+		{"leaking param content: ws", false},
+		{"leaking param: d to result ~r0 level=1", false},
+		{"xs does not escape", false},
+		{"can inline Clean with cost 15 as: func([]float64) float64 {}", false},
+		{"parameter a leaks to {heap} with derefs=0", false},
+	}
+	for _, c := range cases {
+		if got := escapebudget.Violation(c.msg); got != c.want {
+			t.Errorf("Violation(%q) = %v, want %v", c.msg, got, c.want)
+		}
+	}
+}
+
+func TestCollectTargets(t *testing.T) {
+	fset, files := parseFixture(t)
+	targets := escapebudget.CollectTargets(fset, files)
+	var names []string
+	for _, tg := range targets {
+		names = append(names, tg.Name)
+		if tg.File != fixtureFile {
+			t.Errorf("target %s file = %q, want %q", tg.Name, tg.File, fixtureFile)
+		}
+		if tg.StartLine <= 0 || tg.EndLine < tg.StartLine {
+			t.Errorf("target %s has bad span %d-%d", tg.Name, tg.StartLine, tg.EndLine)
+		}
+	}
+	if got, want := strings.Join(names, ","), "Clean,Boxed,Spill,View"; got != want {
+		t.Errorf("targets = %s, want %s (Free must stay unannotated)", got, want)
+	}
+}
+
+// TestCheckGolden runs the full target/ignore/diagnostic match over the
+// fixture source and the golden compiler output: exactly one finding
+// (Boxed), with Spill suppressed, View's flow fact not a violation, and
+// the unannotated Free outside the budget.
+func TestCheckGolden(t *testing.T) {
+	fset, files := parseFixture(t)
+	targets := escapebudget.CollectTargets(fset, files)
+	ignores, bad := escapebudget.CollectIgnores(fset, files)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %+v", bad)
+	}
+	findings := escapebudget.Check(targets, ignores, goldenDiags(t))
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v, want exactly one (Boxed)", findings)
+	}
+	f := findings[0]
+	if f.Func != "Boxed" || f.Line != 27 {
+		t.Errorf("finding = %+v, want Boxed at line 27", f)
+	}
+	if !strings.Contains(f.Message, "voiceprintvet:noescape") {
+		t.Errorf("finding message %q does not name the annotation", f.Message)
+	}
+}
+
+// TestIgnoreNeedsReason pins the mandatory-reason rule: a bare
+// directive is itself a finding.
+func TestIgnoreNeedsReason(t *testing.T) {
+	src := `package p
+
+// voiceprintvet:noescape
+func F() *int {
+	//voiceprintvet:ignore escapebudget
+	x := 1
+	return &x
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ignores, bad := escapebudget.CollectIgnores(fset, []*ast.File{f})
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed ignore directive") {
+		t.Fatalf("bad = %+v, want one malformed-directive finding", bad)
+	}
+	if ignores.Ignored("p.go", 6) {
+		t.Error("malformed directive must not suppress anything")
+	}
+}
+
+// TestLiveDrift rebuilds the fixture with the toolchain's real escape
+// analysis and re-parses its output, catching any -m=2 format drift the
+// golden file cannot see.
+func TestLiveDrift(t *testing.T) {
+	cmd := exec.Command("go", "build", "-gcflags=-m=2", "./testdata/escapes")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -gcflags=-m=2: %v\n%s", err, out)
+	}
+	diags := escapebudget.ParseDiagnostics(bytes.NewReader(out))
+	var movedN, movedY bool
+	for _, d := range diags {
+		if strings.HasSuffix(d.Message, ":") || strings.HasPrefix(d.Message, "flow:") {
+			t.Errorf("live parse produced detail artifact: %+v", d)
+		}
+		if d.Message == "moved to heap: n" {
+			movedN = true
+		}
+		if d.Message == "moved to heap: y" {
+			movedY = true
+		}
+	}
+	if !movedN || !movedY {
+		t.Fatalf("live -m=2 output missing expected heap moves (n=%v y=%v); toolchain escape-diagnostic format may have drifted:\n%s", movedN, movedY, out)
+	}
+}
+
+// TestRunEndToEnd drives the whole subcommand path — go list, go build,
+// parse, match — over the fixture package.
+func TestRunEndToEnd(t *testing.T) {
+	findings, err := escapebudget.Run([]string{"./testdata/escapes"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Func != "Boxed" {
+		t.Fatalf("findings = %+v, want exactly Boxed", findings)
+	}
+}

@@ -1,0 +1,54 @@
+// Package escapes is a live fixture for the escapebudget driver: built
+// with -gcflags=-m=2 by the tests, it must produce one budget violation
+// (Boxed), one suppressed violation (Spill), one clean annotated
+// function (Clean), one flow-fact-only annotated function (View), and
+// one unannotated allocation (Free) outside the budget.
+package escapes
+
+// Sink keeps the escape analysis honest: storing an address into it
+// forces the pointee to the heap.
+var Sink *int
+
+// Clean is the annotated happy case: everything stays on the stack.
+//
+// voiceprintvet:noescape
+func Clean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Boxed violates its annotation: n outlives the frame, so the compiler
+// moves it to the heap.
+//
+// voiceprintvet:noescape
+func Boxed(n int) *int {
+	Sink = &n
+	return Sink
+}
+
+// Spill allocates deliberately; the suppression records why it stays.
+//
+// voiceprintvet:noescape
+func Spill() *int {
+	//voiceprintvet:ignore escapebudget fixture: deliberate heap move pinning the suppression path
+	x := 7
+	Sink = &x
+	return Sink
+}
+
+// View leaks its parameter to the result only — a flow fact, not an
+// allocation. The budget must not flag it.
+//
+// voiceprintvet:noescape
+func View(xs []float64) []float64 {
+	return xs[:len(xs):len(xs)]
+}
+
+// Free is unannotated: its heap move is outside the budget.
+func Free() *int {
+	y := 9
+	return &y
+}

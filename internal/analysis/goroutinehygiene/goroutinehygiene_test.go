@@ -1,0 +1,19 @@
+package goroutinehygiene_test
+
+import (
+	"testing"
+
+	"voiceprint/internal/analysis/goroutinehygiene"
+	"voiceprint/internal/analysis/vet/vettest"
+)
+
+func TestGoroutineHygiene(t *testing.T) {
+	vettest.Run(t, goroutinehygiene.Analyzer, "testdata/src/fixture", "voiceprint/internal/service")
+}
+
+// TestScope pins AppliesTo: the same violation-laden fixture must come
+// back clean when it poses as a package outside the detection/service
+// set (analyzers run nowhere they aren't scoped to).
+func TestScope(t *testing.T) {
+	vettest.RunExpectClean(t, goroutinehygiene.Analyzer, "testdata/src/fixture", "voiceprint/internal/estimator")
+}

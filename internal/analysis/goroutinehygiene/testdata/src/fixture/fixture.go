@@ -1,0 +1,174 @@
+// Fixture for the goroutinehygiene analyzer: joinable, stoppable, and
+// leak-prone goroutine spawns, plus the timer-in-loop check.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work() {}
+
+func run() error { return nil }
+
+// Bad: fire-and-forget with no lifecycle contract at all.
+func Leak() {
+	go func() { // want "goroutine has no visible join or stop path"
+		work()
+	}()
+}
+
+// Good: WaitGroup join — Add before the spawn, Done inside.
+func Join() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Bad: the Add races Wait when it runs inside the goroutine it
+// accounts. The spawn is also unjoinable for the same reason.
+func AddInside() {
+	var wg sync.WaitGroup
+	go func() { // want "goroutine has no visible join or stop path"
+		wg.Add(1) // want "WaitGroup\\.Add inside the goroutine it accounts"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Good: a context reference is a stop path.
+func Ctx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Good: a done-channel select is a stop path.
+func StopChan(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Good: a completion send lets the owner join.
+func Result() chan error {
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	return done
+}
+
+// Good: a deferred close is a completion signal.
+func CloseSignal() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// Good: ranging over a channel drains until the owner closes it.
+func Drain(events chan int) {
+	go func() {
+		for range events {
+			work()
+		}
+	}()
+}
+
+type server struct{}
+
+func (s *server) ListenAndServe() {}
+func (s *server) Close()          {}
+
+// Good: the deferred Close on the object the goroutine blocks in is a
+// registered teardown.
+func Teardown() {
+	srv := &server{}
+	go func() {
+		srv.ListenAndServe()
+	}()
+	defer srv.Close()
+	work()
+}
+
+type pump struct{ stop chan struct{} }
+
+func (p *pump) loop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// Good: a named same-package callee is judged by its own body.
+func Named() {
+	p := &pump{stop: make(chan struct{})}
+	go p.loop()
+	close(p.stop)
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// Bad: the named callee has no stop path either.
+func NamedBad() {
+	go spin() // want "goroutine has no visible join or stop path"
+}
+
+// Bad: a timer per iteration, uncollected until each fires.
+func Poll(ch chan int) {
+	for {
+		select {
+		case <-ch:
+		case <-time.After(time.Second): // want "time\\.After in a loop"
+			work()
+		}
+	}
+}
+
+// Good: one timer outside any loop.
+func Wait(ch chan int) {
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+	}
+}
+
+// Good: time.Time.After is a comparison method, not the timer function
+// — a deadline poll loop allocates nothing.
+func Deadline(deadline time.Time) {
+	for !time.Now().After(deadline) {
+		work()
+	}
+}
+
+// Good: the literal is a function boundary — it runs once per call,
+// not once per loop iteration.
+func Factory() []func() {
+	var fs []func()
+	for i := 0; i < 3; i++ {
+		fs = append(fs, func() {
+			<-time.After(time.Millisecond)
+		})
+	}
+	return fs
+}

@@ -1,0 +1,1073 @@
+// Package lockdiscipline statically enforces the repository's mutex
+// contracts. The detection pipeline's determinism guarantees — the
+// bit-identical parallel compare loop, the WAL snapshot barrier, the
+// fused-verdict equality matrices — all rest on struct fields being
+// touched only under their mutex; until now that discipline was checked
+// only dynamically (-race, chaos seeds). The analyzer makes it a vet
+// gate via two annotations:
+//
+//	type Monitor struct {
+//		mu     sync.Mutex
+//		series map[ID]*Series // voiceprintvet:guardedby mu
+//	}
+//
+//	// voiceprintvet:holds mu
+//	func (m *Monitor) evictLocked() { ... }
+//
+// Every read or write of a guardedby-annotated field must be dominated,
+// in its enclosing block sequence, by a Lock (writes) or RLock (reads)
+// of the named sibling mutex — or occur inside a function carrying the
+// matching holds precondition, whose call sites are checked the same
+// way. On top of the guarded-field check the analyzer reports lock-
+// upgrade deadlocks (Lock while RLock is held), defers that lock
+// instead of unlocking, functions that lock a mutex and never release
+// it on any path, and copies of annotated locker structs (value
+// receivers, value parameters, dereference assignments).
+//
+// Accesses through a variable freshly allocated in the same function
+// (&T{...}, T{}, new(T), var t T) are exempt: the object cannot be
+// shared yet, which is exactly the constructor pattern. Function
+// literals are analyzed with an empty lock state — a closure may run on
+// another goroutine, so it cannot inherit its definer's locks; take the
+// lock inside the literal or call a holds-annotated helper from a
+// context that provably holds it.
+//
+// Annotations are exported as package facts, so accesses to an
+// imported struct's exported guarded fields and calls to exported
+// holds-annotated methods are enforced across package (and, under
+// go vet, process) boundaries.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"voiceprint/internal/analysis/vet"
+)
+
+// Facts is the package fact document: the annotation surface of one
+// package, keyed by syntax ("Type.Field", "Type.Method") because
+// dependents see only export data, not this package's objects.
+type Facts struct {
+	// Guarded maps "Type.Field" to the guarding mutex field name.
+	Guarded map[string]string `json:"guarded,omitempty"`
+	// Holds maps "Type.Method" to the receiver mutex fields the caller
+	// must hold.
+	Holds map[string][]string `json:"holds,omitempty"`
+}
+
+// Analyzer is the lock-discipline checker.
+var Analyzer = &vet.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "enforce voiceprintvet:guardedby / voiceprintvet:holds mutex contracts\n\n" +
+		"Fields annotated `voiceprintvet:guardedby mu` may only be accessed under " +
+		"a dominating mu.Lock/RLock or inside a `voiceprintvet:holds mu` function; " +
+		"writes need the write lock. Also reports RLock-to-Lock upgrades, defer'd " +
+		"Lock, Lock without any unlock, and copies of annotated locker structs.",
+	Run: run,
+}
+
+const (
+	guardedDirective = "voiceprintvet:guardedby"
+	holdsDirective   = "voiceprintvet:holds"
+)
+
+// lockMode is how strongly a mutex is held.
+type lockMode int
+
+const (
+	heldNone lockMode = iota
+	heldRead
+	heldWrite
+)
+
+// lockKey names one mutex reachable from a function: the root object
+// (receiver, local, parameter, or package var) plus the selector path
+// down to the mutex — `s.sched.mu.Lock()` keys as {obj(s), "sched.mu"}.
+type lockKey struct {
+	base types.Object
+	path string
+}
+
+type analysis struct {
+	pass *vet.Pass
+	// guarded maps in-package field objects to their mutex field name.
+	guarded map[types.Object]string
+	// holds maps in-package functions to their required mutex fields.
+	holds map[*types.Func][]string
+	// lockerTypes are the in-package named structs carrying any
+	// guardedby annotation — the copy-of-locker set.
+	lockerTypes map[*types.Named]bool
+	// factsCache memoizes imported packages' fact documents.
+	factsCache map[string]*Facts
+}
+
+func run(pass *vet.Pass) error {
+	a := &analysis{
+		pass:        pass,
+		guarded:     make(map[types.Object]string),
+		holds:       make(map[*types.Func][]string),
+		lockerTypes: make(map[*types.Named]bool),
+		factsCache:  make(map[string]*Facts),
+	}
+	facts := Facts{Guarded: map[string]string{}, Holds: map[string][]string{}}
+	a.collectAnnotations(&facts)
+	if err := pass.ExportFact(&facts); err != nil {
+		return err
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkCopies(fd)
+			a.checkPairing(fd.Name.Name, fd.Body)
+			a.block(fd.Body.List, a.initialState(fd), a.freshLocals(fd.Body))
+		}
+	}
+	return nil
+}
+
+// ---- annotation collection ----
+
+// directiveArg returns the argument of a `voiceprintvet:<directive> arg`
+// comment in any of the groups, or "". Only the first token after the
+// directive counts, so trailing prose doesn't bleed into the mutex name.
+func directiveArg(groups []*ast.CommentGroup, directive string) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, directive) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directive)
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				return fields[0]
+			}
+			return ""
+		}
+	}
+	return ""
+}
+
+func (a *analysis) collectAnnotations(facts *Facts) {
+	for _, f := range a.pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					a.collectStruct(ts, st, facts)
+				}
+			case *ast.FuncDecl:
+				arg := directiveArg([]*ast.CommentGroup{d.Doc}, holdsDirective)
+				if arg != "" {
+					a.collectHolds(d, arg, facts)
+				}
+			}
+		}
+	}
+}
+
+func (a *analysis) collectStruct(ts *ast.TypeSpec, st *ast.StructType, facts *Facts) {
+	info := a.pass.TypesInfo
+	mutexFields := make(map[string]bool)
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && isMutexType(obj.Type()) {
+				mutexFields[name.Name] = true
+			}
+		}
+	}
+	for _, field := range st.Fields.List {
+		arg := directiveArg([]*ast.CommentGroup{field.Doc, field.Comment}, guardedDirective)
+		if arg == "" {
+			continue
+		}
+		if len(field.Names) == 0 {
+			a.pass.Reportf(field.Pos(), "voiceprintvet:guardedby on an embedded field is not supported")
+			continue
+		}
+		if !mutexFields[arg] {
+			a.pass.Reportf(field.Pos(), "voiceprintvet:guardedby %s: struct %s has no sync.Mutex or sync.RWMutex field %q", arg, ts.Name.Name, arg)
+			continue
+		}
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if isMutexType(obj.Type()) {
+				a.pass.Reportf(field.Pos(), "voiceprintvet:guardedby on mutex field %s: a mutex does not guard itself", name.Name)
+				continue
+			}
+			a.guarded[obj] = arg
+			facts.Guarded[ts.Name.Name+"."+name.Name] = arg
+		}
+		if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+			if named, ok := tn.Type().(*types.Named); ok {
+				a.lockerTypes[named] = true
+			}
+		}
+	}
+}
+
+func (a *analysis) collectHolds(d *ast.FuncDecl, arg string, facts *Facts) {
+	fn, _ := a.pass.TypesInfo.Defs[d.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		a.pass.Reportf(d.Pos(), "voiceprintvet:holds on %s: only methods can hold a receiver mutex", d.Name.Name)
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	recvType := baseNamed(sig.Recv().Type())
+	if recvType == nil {
+		a.pass.Reportf(d.Pos(), "voiceprintvet:holds on %s: receiver is not a named struct", d.Name.Name)
+		return
+	}
+	var mus []string
+	for _, mu := range strings.Split(arg, ",") {
+		mu = strings.TrimSpace(mu)
+		if mu == "" {
+			continue
+		}
+		if !structHasMutexField(recvType, mu) {
+			a.pass.Reportf(d.Pos(), "voiceprintvet:holds %s: receiver struct %s has no sync.Mutex or sync.RWMutex field %q", mu, recvType.Obj().Name(), mu)
+			continue
+		}
+		mus = append(mus, mu)
+	}
+	if len(mus) == 0 {
+		return
+	}
+	a.holds[fn] = mus
+	facts.Holds[recvType.Obj().Name()+"."+fn.Name()] = mus
+}
+
+// ---- fact lookup for imported packages ----
+
+func (a *analysis) importedFacts(pkg *types.Package) *Facts {
+	if pkg == nil || pkg == a.pass.Pkg {
+		return nil
+	}
+	path := pkg.Path()
+	if f, ok := a.factsCache[path]; ok {
+		return f
+	}
+	var f Facts
+	ok, err := a.pass.ImportFact(path, &f)
+	if err != nil || !ok {
+		a.factsCache[path] = nil
+		return nil
+	}
+	a.factsCache[path] = &f
+	return &f
+}
+
+// guardOf resolves the mutex guarding the field accessed by sel, or "".
+func (a *analysis) guardOf(sel *ast.SelectorExpr) string {
+	obj := a.pass.TypesInfo.ObjectOf(sel.Sel)
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return ""
+	}
+	if mu, ok := a.guarded[v]; ok {
+		return mu
+	}
+	if v.Pkg() == nil || v.Pkg() == a.pass.Pkg {
+		return ""
+	}
+	facts := a.importedFacts(v.Pkg())
+	if facts == nil {
+		return ""
+	}
+	named := baseNamed(a.pass.TypesInfo.TypeOf(sel.X))
+	if named == nil {
+		return ""
+	}
+	return facts.Guarded[named.Obj().Name()+"."+v.Name()]
+}
+
+// holdsOf resolves a callee's holds precondition, or nil.
+func (a *analysis) holdsOf(fn *types.Func) []string {
+	if mus, ok := a.holds[fn]; ok {
+		return mus
+	}
+	if fn.Pkg() == nil || fn.Pkg() == a.pass.Pkg {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	recv := sig.Recv()
+	named := baseNamed(recv.Type())
+	if named == nil {
+		return nil
+	}
+	facts := a.importedFacts(fn.Pkg())
+	if facts == nil {
+		return nil
+	}
+	return facts.Holds[named.Obj().Name()+"."+fn.Name()]
+}
+
+// isLockerType reports whether t is an annotated locker struct value
+// type (a *T value does not copy T, so pointers don't count).
+func (a *analysis) isLockerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, _ := t.(*types.Named)
+	if named == nil {
+		return false
+	}
+	if a.lockerTypes[named] {
+		return true
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || pkg == a.pass.Pkg {
+		return false
+	}
+	facts := a.importedFacts(pkg)
+	if facts == nil {
+		return false
+	}
+	prefix := named.Obj().Name() + "."
+	for k := range facts.Guarded {
+		if strings.HasPrefix(k, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- per-function lock-state analysis ----
+
+// initialState seeds a method's lock state from its holds annotation:
+// the precondition means the caller already took the receiver's mutex
+// exclusively.
+func (a *analysis) initialState(fd *ast.FuncDecl) map[lockKey]lockMode {
+	st := make(map[lockKey]lockMode)
+	fn, _ := a.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return st
+	}
+	mus := a.holds[fn]
+	if len(mus) == 0 || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return st
+	}
+	recvObj := a.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return st
+	}
+	for _, mu := range mus {
+		st[lockKey{base: recvObj, path: mu}] = heldWrite
+	}
+	return st
+}
+
+// freshLocals collects objects that are provably this function's own
+// fresh allocations — `x := &T{...}`, `x := T{}`, `x := new(T)`,
+// `var x T` — whose guarded fields cannot be shared with another
+// goroutine yet.
+func (a *analysis) freshLocals(body *ast.BlockStmt) map[types.Object]bool {
+	info := a.pass.TypesInfo
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals get their own analysis
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil && isFreshExpr(info, n.Rhs[i]) {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				// `var x T`: zero value on the stack, unshared.
+				for _, id := range n.Names {
+					if obj := info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+				return true
+			}
+			if len(n.Values) != len(n.Names) {
+				return true
+			}
+			for i, id := range n.Names {
+				if obj := info.Defs[id]; obj != nil && isFreshExpr(info, n.Values[i]) {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether e evaluates to a freshly allocated value:
+// a composite literal, its address, or new(T).
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "new" {
+			return false
+		}
+		_, isBuiltin := info.ObjectOf(id).(*types.Builtin)
+		return isBuiltin
+	}
+	return false
+}
+
+// block checks a statement list in order: each statement's accesses are
+// judged against the lock state accumulated from its predecessors, then
+// its own lock effects are applied for the statements after it.
+func (a *analysis) block(list []ast.Stmt, st map[lockKey]lockMode, fresh map[types.Object]bool) {
+	for _, s := range list {
+		a.checkStmt(s, st, fresh)
+		a.applyEffect(s, st)
+	}
+}
+
+// checkStmt validates the accesses inside one statement, recursing into
+// nested blocks with a copy of the current state so a branch's lock
+// operations don't leak into its siblings.
+func (a *analysis) checkStmt(s ast.Stmt, st map[lockKey]lockMode, fresh map[types.Object]bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		a.block(s.List, copyState(st), fresh)
+	case *ast.IfStmt:
+		inner := copyState(st)
+		if s.Init != nil {
+			a.checkStmt(s.Init, inner, fresh)
+			a.applyEffect(s.Init, inner)
+		}
+		a.checkNode(s.Cond, inner, fresh)
+		a.block(s.Body.List, copyState(inner), fresh)
+		if s.Else != nil {
+			a.checkStmt(s.Else, copyState(inner), fresh)
+		}
+	case *ast.ForStmt:
+		inner := copyState(st)
+		if s.Init != nil {
+			a.checkStmt(s.Init, inner, fresh)
+			a.applyEffect(s.Init, inner)
+		}
+		if s.Cond != nil {
+			a.checkNode(s.Cond, inner, fresh)
+		}
+		if s.Post != nil {
+			a.checkStmt(s.Post, inner, fresh)
+		}
+		a.block(s.Body.List, copyState(inner), fresh)
+	case *ast.RangeStmt:
+		inner := copyState(st)
+		a.checkNode(s.X, inner, fresh)
+		if s.Key != nil {
+			a.checkNode(s.Key, inner, fresh)
+		}
+		if s.Value != nil {
+			a.checkNode(s.Value, inner, fresh)
+		}
+		a.block(s.Body.List, copyState(inner), fresh)
+	case *ast.SwitchStmt:
+		inner := copyState(st)
+		if s.Init != nil {
+			a.checkStmt(s.Init, inner, fresh)
+			a.applyEffect(s.Init, inner)
+		}
+		if s.Tag != nil {
+			a.checkNode(s.Tag, inner, fresh)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				a.checkNode(e, inner, fresh)
+			}
+			a.block(cc.Body, copyState(inner), fresh)
+		}
+	case *ast.TypeSwitchStmt:
+		inner := copyState(st)
+		if s.Init != nil {
+			a.checkStmt(s.Init, inner, fresh)
+			a.applyEffect(s.Init, inner)
+		}
+		a.checkStmt(s.Assign, inner, fresh)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			a.block(cc.Body, copyState(inner), fresh)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			inner := copyState(st)
+			if cc.Comm != nil {
+				a.checkStmt(cc.Comm, inner, fresh)
+				a.applyEffect(cc.Comm, inner)
+			}
+			a.block(cc.Body, inner, fresh)
+		}
+	case *ast.LabeledStmt:
+		a.checkStmt(s.Stmt, st, fresh)
+	case *ast.DeferStmt:
+		if op, key, ok := lockCall(a.pass.TypesInfo, s.Call); ok {
+			if op == "Lock" || op == "RLock" {
+				a.pass.Reportf(s.Pos(), "defer %s.%s() acquires the lock at function exit; defer the unlock instead", keyString(key), op)
+			}
+			return
+		}
+		a.checkNode(s.Call, st, fresh)
+	default:
+		// Leaf statements — assignments, expression statements, returns,
+		// sends, go statements: walk the whole node so write detection
+		// sees the statement as ancestor context.
+		a.checkNode(s, st, fresh)
+	}
+}
+
+// checkNode walks one leaf statement or expression with an ancestor
+// stack, checking guarded accesses and holds-call preconditions against
+// the lock state. Nested function literals are analyzed from scratch
+// with an empty state — a closure may run on another goroutine, so it
+// cannot inherit its definer's locks.
+func (a *analysis) checkNode(root ast.Node, st map[lockKey]lockMode, fresh map[types.Object]bool) {
+	if root == nil {
+		return
+	}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			a.checkPairing("function literal", lit.Body)
+			a.block(lit.Body.List, make(map[lockKey]lockMode), a.freshLocals(lit.Body))
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			a.checkGuardedAccess(e, stack, st, fresh)
+		case *ast.CallExpr:
+			a.checkHoldsCall(e, st, fresh)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// checkGuardedAccess judges one field selector against the lock state.
+func (a *analysis) checkGuardedAccess(sel *ast.SelectorExpr, stack []ast.Node, st map[lockKey]lockMode, fresh map[types.Object]bool) {
+	mu := a.guardOf(sel)
+	if mu == "" {
+		return
+	}
+	baseKey, ok := keyOf(a.pass.TypesInfo, sel.X)
+	if !ok {
+		return // base is a call result or other unkeyable expression
+	}
+	if fresh[baseKey.base] {
+		return
+	}
+	need := baseKey
+	if need.path == "" {
+		need.path = mu
+	} else {
+		need.path += "." + mu
+	}
+	write := isWriteAccess(sel, stack, a.pass.TypesInfo)
+	switch mode := st[need]; {
+	case mode == heldNone:
+		a.pass.Reportf(sel.Sel.Pos(), "%s is guarded by %s, which is not held here (no dominating lock in this block; if every caller locks, annotate the function voiceprintvet:holds %s)", exprString(sel), keyString(need), mu)
+	case write && mode == heldRead:
+		a.pass.Reportf(sel.Sel.Pos(), "write to %s while %s is held only for reading (RLock); writes need the exclusive Lock", exprString(sel), keyString(need))
+	}
+}
+
+// checkHoldsCall enforces a callee's holds precondition at its call
+// site.
+func (a *analysis) checkHoldsCall(call *ast.CallExpr, st map[lockKey]lockMode, fresh map[types.Object]bool) {
+	fn := calleeFunc(a.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	mus := a.holdsOf(fn)
+	if len(mus) == 0 {
+		return
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		a.pass.Reportf(call.Pos(), "call to %s through a method value: its voiceprintvet:holds %s precondition cannot be verified", fn.Name(), strings.Join(mus, ","))
+		return
+	}
+	baseKey, ok := keyOf(a.pass.TypesInfo, sel.X)
+	if !ok {
+		return
+	}
+	if fresh[baseKey.base] {
+		return
+	}
+	for _, mu := range mus {
+		need := baseKey
+		if need.path == "" {
+			need.path = mu
+		} else {
+			need.path += "." + mu
+		}
+		if st[need] != heldWrite {
+			a.pass.Reportf(call.Pos(), "call to %s requires holding %s exclusively (voiceprintvet:holds %s)", fn.Name(), keyString(need), mu)
+		}
+	}
+}
+
+// applyEffect updates the lock state for the statements that follow s
+// in the same block.
+func (a *analysis) applyEffect(s ast.Stmt, st map[lockKey]lockMode) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		op, key, ok := lockCall(a.pass.TypesInfo, call)
+		if !ok {
+			return
+		}
+		switch op {
+		case "Lock":
+			switch st[key] {
+			case heldRead:
+				a.pass.Reportf(s.Pos(), "%s.Lock() while %s.RLock() is held: a read-to-write upgrade deadlocks", keyString(key), keyString(key))
+			case heldWrite:
+				a.pass.Reportf(s.Pos(), "%s.Lock() while %s is already held: self-deadlock", keyString(key), keyString(key))
+			}
+			st[key] = heldWrite
+		case "RLock":
+			if st[key] == heldWrite {
+				a.pass.Reportf(s.Pos(), "%s.RLock() while %s.Lock() is held: sync.RWMutex is not reentrant", keyString(key), keyString(key))
+			}
+			st[key] = heldRead
+		case "Unlock", "RUnlock":
+			delete(st, key)
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the rest of the
+		// function; a deferred Lock was already reported in checkStmt.
+	default:
+		// Compound statements: a branch may release a lock taken above.
+		// A nested unlock on a fall-through path clears the state
+		// conservatively; one in a terminating branch (its block ends in
+		// return/goto/panic) does not — that is the
+		// `if bad { mu.Unlock(); return err }` early-exit idiom. Nested
+		// Locks never establish domination for statements after the
+		// compound — only same-level Locks do.
+		if isCompound(s) {
+			a.applyNestedUnlocks(s, st)
+		}
+	}
+}
+
+func isCompound(s ast.Stmt) bool {
+	switch s.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+		*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt, *ast.LabeledStmt:
+		return true
+	}
+	return false
+}
+
+// applyNestedUnlocks scans a compound statement for mutex releases that
+// can reach its fall-through path.
+func (a *analysis) applyNestedUnlocks(s ast.Stmt, st map[lockKey]lockMode) {
+	info := a.pass.TypesInfo
+	// lists tracks, per ancestor, the statement list it contributes (nil
+	// for non-block ancestors), so an unlock can find its innermost
+	// enclosing statement list and ask whether that branch terminates.
+	var lists [][]ast.Stmt
+	ast.Inspect(s, func(n ast.Node) bool {
+		if n == nil {
+			lists = lists[:len(lists)-1]
+			return true
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, key, ok := lockCall(info, call); ok && (op == "Unlock" || op == "RUnlock") {
+				terminates := false
+				for i := len(lists) - 1; i >= 0; i-- {
+					if l := lists[i]; l != nil {
+						terminates = len(l) > 0 && isTerminator(l[len(l)-1])
+						break
+					}
+				}
+				if !terminates {
+					delete(st, key)
+				}
+			}
+		}
+		lists = append(lists, list)
+		return true
+	})
+}
+
+// isTerminator reports whether the statement unconditionally leaves the
+// function.
+func isTerminator(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// checkPairing reports mutexes a function locks but never releases on
+// any path — neither inline nor deferred. Lock helpers that deliberately
+// hand a held mutex to their caller (paired Begin/End APIs) are the
+// suppress-with-reason case.
+func (a *analysis) checkPairing(name string, body *ast.BlockStmt) {
+	info := a.pass.TypesInfo
+	type acquire struct {
+		pos token.Pos
+		op  string
+	}
+	acquired := make(map[lockKey]acquire)
+	var order []lockKey
+	released := make(map[lockKey]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own pairing scope
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			// A deferred unlock releases; a deferred Lock is reported as
+			// its own bug by checkStmt, not double-counted here.
+			if op, key, ok := lockCall(info, d.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				released[key] = true
+			}
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, key, ok := lockCall(info, call)
+		if !ok {
+			return true
+		}
+		switch op {
+		case "Lock", "RLock":
+			if _, dup := acquired[key]; !dup {
+				acquired[key] = acquire{pos: call.Pos(), op: op}
+				order = append(order, key)
+			}
+		case "Unlock", "RUnlock":
+			released[key] = true
+		}
+		return true
+	})
+	for _, key := range order {
+		if !released[key] {
+			acq := acquired[key]
+			a.pass.Reportf(acq.pos, "%s.%s() in %s with no unlock anywhere in the function; unlock it, defer the unlock, or suppress with a reason if the lock is deliberately handed to the caller", keyString(key), acq.op, name)
+		}
+	}
+}
+
+// ---- copy-of-locker ----
+
+// checkCopies flags copies of annotated locker structs: value
+// receivers, value parameters, and dereference assignments. The copy
+// carries a copied mutex guarding stale state.
+func (a *analysis) checkCopies(fd *ast.FuncDecl) {
+	info := a.pass.TypesInfo
+	checkFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if t := info.TypeOf(field.Type); a.isLockerType(t) {
+				a.pass.Reportf(field.Pos(), "%s of %s copies its mutex and the fields it guards; use a pointer", what, typeName(t))
+			}
+		}
+	}
+	checkFields(fd.Recv, "value receiver")
+	checkFields(fd.Type.Params, "value parameter")
+	// Dereference copies in the body: `cp := *mon`, `x = *mon`,
+	// `return *mon`, `var v = *mon`. Only value positions copy — (*p).f
+	// and &*p do not — so the check is anchored at those statements
+	// rather than at every StarExpr.
+	checkValues := func(exprs []ast.Expr) {
+		for _, e := range exprs {
+			star, ok := unparen(e).(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			if t := info.TypeOf(star); a.isLockerType(t) {
+				a.pass.Reportf(star.Pos(), "dereference copies %s, its mutex, and the fields it guards; keep the pointer", typeName(t))
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkValues(n.Rhs)
+		case *ast.ReturnStmt:
+			checkValues(n.Results)
+		case *ast.ValueSpec:
+			checkValues(n.Values)
+		}
+		return true
+	})
+}
+
+// ---- helpers ----
+
+func copyState(st map[lockKey]lockMode) map[lockKey]lockMode {
+	cp := make(map[lockKey]lockMode, len(st))
+	for k, v := range st {
+		cp[k] = v
+	}
+	return cp
+}
+
+// lockCall decodes a call as (op, mutexKey) when it invokes a
+// sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock method on a keyable
+// expression.
+func lockCall(info *types.Info, call *ast.CallExpr) (string, lockKey, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockKey{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", lockKey{}, false
+	}
+	fn, _ := info.ObjectOf(sel.Sel).(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockKey{}, false
+	}
+	key, ok := keyOf(info, sel.X)
+	if !ok {
+		return "", lockKey{}, false
+	}
+	return sel.Sel.Name, key, true
+}
+
+// keyOf resolves an expression to a (root object, selector path) key.
+func keyOf(info *types.Info, e ast.Expr) (lockKey, bool) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return lockKey{}, false
+		}
+		return lockKey{base: obj}, true
+	case *ast.SelectorExpr:
+		k, ok := keyOf(info, e.X)
+		if !ok {
+			return lockKey{}, false
+		}
+		if k.path == "" {
+			k.path = e.Sel.Name
+		} else {
+			k.path += "." + e.Sel.Name
+		}
+		return k, true
+	}
+	return lockKey{}, false
+}
+
+func keyString(k lockKey) string {
+	name := "?"
+	if k.base != nil {
+		name = k.base.Name()
+	}
+	if k.path == "" {
+		return name
+	}
+	return name + "." + k.path
+}
+
+// exprString renders a selector chain for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "…"
+	}
+}
+
+// isWriteAccess reports whether the selector — whose ancestors, nearest
+// last, are in stack — is written: assignment target, ++/--, address
+// taken, or mutated by builtin delete/clear.
+func isWriteAccess(sel *ast.SelectorExpr, stack []ast.Node, info *types.Info) bool {
+	var cur ast.Node = sel
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false
+			}
+			cur = p
+		case *ast.SliceExpr:
+			if p.X != cur {
+				return false
+			}
+			cur = p
+		case *ast.SelectorExpr:
+			// A deeper field through the guarded field: x.guarded.sub = v
+			// writes through guarded storage.
+			if p.X != cur {
+				return false
+			}
+			cur = p
+		case *ast.StarExpr:
+			if p.X != cur {
+				return false
+			}
+			cur = p
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == cur
+		case *ast.UnaryExpr:
+			return p.Op == token.AND && p.X == cur
+		case *ast.CallExpr:
+			id, ok := unparen(p.Fun).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+				return false
+			}
+			return (id.Name == "delete" || id.Name == "clear") && len(p.Args) > 0 && p.Args[0] == cur
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves the static callee of a call, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isMutexType(t types.Type) bool {
+	return vet.IsNamed(t, "sync", "Mutex") || vet.IsNamed(t, "sync", "RWMutex")
+}
+
+// baseNamed unwraps a pointer to its named element type, or nil.
+func baseNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func structHasMutexField(named *types.Named, name string) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name && isMutexType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,26 @@
+// Dependency fixture: an exported locker struct whose guardedby/holds
+// annotations must reach importing packages as facts.
+package dep
+
+import "sync"
+
+type Store struct {
+	Mu    sync.RWMutex
+	Items map[string]int // voiceprintvet:guardedby Mu
+}
+
+// PurgeLocked empties the store; callers hold the write lock.
+//
+// voiceprintvet:holds Mu
+func (s *Store) PurgeLocked() {
+	for k := range s.Items {
+		delete(s.Items, k)
+	}
+}
+
+// Size is a self-contained locked accessor.
+func (s *Store) Size() int {
+	s.Mu.RLock()
+	defer s.Mu.RUnlock()
+	return len(s.Items)
+}

@@ -1,0 +1,43 @@
+// Importing fixture: the dep package's guardedby/holds annotations are
+// visible here only as facts — either shared in-memory (standalone
+// driver) or round-tripped through the vetx wire format (go vet
+// unitchecker). Both transports must yield identical diagnostics.
+package use
+
+import "voiceprint/fixture/dep"
+
+// Good: read under the read lock.
+func Count(s *dep.Store) int {
+	s.Mu.RLock()
+	defer s.Mu.RUnlock()
+	return len(s.Items)
+}
+
+// Bad: unguarded read of an imported guarded field.
+func Sneak(s *dep.Store) int {
+	return len(s.Items) // want "s\\.Items is guarded by s\\.Mu, which is not held here"
+}
+
+// Bad: write under the read lock.
+func Mislock(s *dep.Store, k string) {
+	s.Mu.RLock()
+	s.Items[k] = 1 // want "write to s\\.Items while s\\.Mu is held only for reading"
+	s.Mu.RUnlock()
+}
+
+// Good: the imported holds precondition is satisfied.
+func Reset(s *dep.Store) {
+	s.Mu.Lock()
+	s.PurgeLocked()
+	s.Mu.Unlock()
+}
+
+// Bad: the imported holds precondition is violated.
+func Rush(s *dep.Store) {
+	s.PurgeLocked() // want "call to PurgeLocked requires holding s\\.Mu exclusively"
+}
+
+// Bad: copying an imported locker struct.
+func Clone(s *dep.Store) dep.Store {
+	return *s // want "dereference copies Store"
+}

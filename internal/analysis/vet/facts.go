@@ -1,0 +1,126 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// FactStore holds per-package analyzer facts: one JSON document per
+// (package, analyzer) pair. Facts are how an analyzer communicates
+// knowledge it derived from a package's source — e.g. lockdiscipline's
+// "field Monitor.series is guarded by mu" — to later analyses of the
+// packages that import it, where that source is no longer visible (only
+// compiler export data is).
+//
+// The store has two transport modes, matching the two drivers:
+//
+//   - standalone: one in-memory store spans the whole `go list -deps`
+//     load; packages are analyzed in dependency order, so a dependent's
+//     pass finds its imports' facts already present.
+//   - unitchecker (`go vet -vettool`): each compilation unit runs in its
+//     own process. The driver seeds the store from the PackageVetx files
+//     go vet hands it (one per direct import, written by earlier units)
+//     and serializes the unit's own facts to VetxOutput on exit.
+type FactStore struct {
+	// facts maps package path -> analyzer name -> encoded fact document.
+	facts map[string]map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[string]map[string]json.RawMessage)}
+}
+
+// Export records the analyzer's fact document for pkgPath, replacing any
+// previous one. value must marshal to JSON.
+func (s *FactStore) Export(pkgPath, analyzer string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("vet: encoding %s facts for %s: %w", analyzer, pkgPath, err)
+	}
+	per := s.facts[pkgPath]
+	if per == nil {
+		per = make(map[string]json.RawMessage)
+		s.facts[pkgPath] = per
+	}
+	per[analyzer] = raw
+	return nil
+}
+
+// Import decodes the analyzer's fact document for pkgPath into out,
+// reporting whether one was present.
+func (s *FactStore) Import(pkgPath, analyzer string, out any) (bool, error) {
+	raw, ok := s.facts[pkgPath][analyzer]
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return true, fmt.Errorf("vet: decoding %s facts for %s: %w", analyzer, pkgPath, err)
+	}
+	return true, nil
+}
+
+// vetxFile is the on-disk shape of one package's facts — the payload
+// voiceprintvet writes to go vet's VetxOutput and reads back from the
+// PackageVetx map of dependent units. Version guards against a stale
+// tool reading a newer layout (go vet content-addresses the tool binary
+// into its cache key, so in practice a format change and a cache flush
+// arrive together).
+type vetxFile struct {
+	Version string                     `json:"version"`
+	Facts   map[string]json.RawMessage `json:"facts,omitempty"`
+}
+
+const vetxVersion = "voiceprintvet/1"
+
+// EncodeVetx serializes pkgPath's facts for a vetx file. A package with
+// no facts still gets a valid (empty) document: go vet requires the
+// file to exist for every unit.
+func (s *FactStore) EncodeVetx(pkgPath string) ([]byte, error) {
+	f := vetxFile{Version: vetxVersion, Facts: s.facts[pkgPath]}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("vet: encoding vetx for %s: %w", pkgPath, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeVetx merges a vetx file's facts into the store under pkgPath.
+// Unknown versions and malformed payloads are errors: silently dropping
+// facts would turn missing cross-package enforcement into a pass.
+func (s *FactStore) DecodeVetx(pkgPath string, data []byte) error {
+	var f vetxFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("vet: decoding vetx for %s: %w", pkgPath, err)
+	}
+	if f.Version != vetxVersion {
+		return fmt.Errorf("vet: vetx for %s has version %q, want %q", pkgPath, f.Version, vetxVersion)
+	}
+	for analyzer, raw := range f.Facts {
+		per := s.facts[pkgPath]
+		if per == nil {
+			per = make(map[string]json.RawMessage)
+			s.facts[pkgPath] = per
+		}
+		per[analyzer] = raw
+	}
+	return nil
+}
+
+// loadVetxFiles seeds the store from go vet's PackageVetx map (resolved
+// package path -> facts file written by that package's unit). Files
+// from before the fact format existed (or from other tools) fail to
+// decode; those are reported, not ignored.
+func (s *FactStore) loadVetxFiles(files map[string]string) error {
+	for pkgPath, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return fmt.Errorf("vet: reading facts of %s: %w", pkgPath, err)
+		}
+		if err := s.DecodeVetx(pkgPath, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

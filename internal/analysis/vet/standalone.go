@@ -35,8 +35,14 @@ type listPackage struct {
 // parses and type-checks every matched package of the surrounding
 // module from source (imports are satisfied from compiler export data,
 // so no package is type-checked twice), and returns the units in
-// deterministic order. It shells out to the go command but needs no
-// network: the module is dependency-free.
+// dependency order — `go list -deps` emits imports before importers, so
+// a unit's position guarantees its module dependencies precede it and
+// their facts are available by the time it is analyzed. Module packages
+// pulled in only as dependencies of the patterns are returned too,
+// marked FactsOnly: their annotations must still be turned into facts,
+// but their diagnostics are not the requested patterns' business. It
+// shells out to the go command but needs no network: the module is
+// dependency-free.
 func LoadPackages(patterns []string) ([]*Unit, error) {
 	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -59,7 +65,10 @@ func LoadPackages(patterns []string) ([]*Unit, error) {
 		if p.Export != "" {
 			exportFiles[p.ImportPath] = p.Export
 		}
-		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.DepOnly && p.Module == nil {
 			continue
 		}
 		if p.Error != nil {
@@ -76,6 +85,7 @@ func LoadPackages(patterns []string) ([]*Unit, error) {
 		if err != nil {
 			return nil, err
 		}
+		u.FactsOnly = p.DepOnly
 		units = append(units, u)
 	}
 	return units, nil

@@ -98,12 +98,18 @@ func Main(analyzers ...*Analyzer) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
 	}
+	// One store spans the load: units arrive in dependency order, so
+	// each analysis finds its imports' facts already exported.
+	store := NewFactStore()
 	exit := 0
 	for _, u := range units {
-		diags, err := Run(u, analyzers)
+		diags, err := Run(u, analyzers, store)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 			os.Exit(1)
+		}
+		if u.FactsOnly {
+			continue
 		}
 		for _, d := range diags {
 			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", u.Fset.Position(d.Pos), d.Analyzer, d.Message)
@@ -127,14 +133,30 @@ func runUnit(configFile string, analyzers []*Analyzer) {
 		fatalf("package has no files: %s", cfg.ImportPath)
 	}
 
-	// The vetx facts file must exist even though voiceprintvet keeps no
-	// cross-package facts: go vet caches and feeds it to dependents.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("voiceprintvet\n"), 0o666); err != nil {
+	// Seed the fact store from the vetx files of this unit's imports —
+	// written by their own units earlier in go vet's build graph walk.
+	store := NewFactStore()
+	if err := store.loadVetxFiles(cfg.PackageVetx); err != nil {
+		fatalf("%v", err)
+	}
+	// writeVetx publishes this unit's facts for its dependents. go vet
+	// requires the file to exist for every unit, fact-bearing or not.
+	writeVetx := func() {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		b, err := store.EncodeVetx(NormalizePath(cfg.ImportPath))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, b, 0o666); err != nil {
 			fatalf("writing facts: %v", err)
 		}
 	}
-	if cfg.VetxOnly {
+	if cfg.Standard[cfg.ImportPath] {
+		// Standard-library dependency: no voiceprintvet annotations can
+		// exist there, so skip the typecheck and publish empty facts.
+		writeVetx()
 		os.Exit(0)
 	}
 
@@ -144,6 +166,7 @@ func runUnit(configFile string, analyzers []*Analyzer) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
 				os.Exit(0) // the compiler will report it
 			}
 			fatalf("%v", err)
@@ -174,15 +197,24 @@ func runUnit(configFile string, analyzers []*Analyzer) {
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
 			os.Exit(0)
 		}
 		fatalf("%v", err)
 	}
 
+	// Facts must be computed even for VetxOnly units (module packages
+	// pulled in as dependencies of the requested patterns): their
+	// dependents' analyses hinge on them. Only the diagnostics are the
+	// unit's own business.
 	u := &Unit{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}
-	diags, err := Run(u, analyzers)
+	diags, err := Run(u, analyzers, store)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	writeVetx()
+	if cfg.VetxOnly {
+		os.Exit(0)
 	}
 	exit := 0
 	for _, d := range diags {

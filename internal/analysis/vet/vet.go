@@ -47,6 +47,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	store *FactStore
 	diags []Diagnostic
 }
 
@@ -59,6 +60,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ExportFact records value as this analyzer's package fact for the
+// package under analysis; dependent packages read it back with
+// ImportFact. The driver carries it across package (and, under go vet,
+// process) boundaries — see FactStore.
+func (p *Pass) ExportFact(value any) error {
+	return p.store.Export(NormalizePath(p.Pkg.Path()), p.Analyzer.Name, value)
+}
+
+// ImportFact decodes this analyzer's package fact for an imported
+// package into out, reporting whether one was present. Facts exist only
+// for packages of this module that the driver has already analyzed —
+// standard-library imports never have any.
+func (p *Pass) ImportFact(pkgPath string, out any) (bool, error) {
+	return p.store.Import(NormalizePath(pkgPath), p.Analyzer.Name, out)
+}
+
 // Unit is one loaded, type-checked compilation unit.
 type Unit struct {
 	// Path is the import path as reported by the build system; test
@@ -68,6 +85,10 @@ type Unit struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// FactsOnly marks a module package loaded only as a dependency of
+	// the requested patterns: analyze it for the facts its dependents
+	// need, but do not report its diagnostics.
+	FactsOnly bool
 }
 
 // NormalizePath strips the test-variant suffix from an import path:
@@ -97,8 +118,12 @@ func NewInfo() *types.Info {
 // filtering (test files exercise deprecated shims and seeded
 // nondeterminism on purpose), and //voiceprintvet:ignore suppression
 // all happen here so every driver — go vet, standalone, tests —
-// behaves identically.
-func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+// behaves identically. store carries cross-package facts; nil gets a
+// private throwaway store (no facts in, none kept).
+func Run(u *Unit, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
+	if store == nil {
+		store = NewFactStore()
+	}
 	pkgPath := NormalizePath(u.Path)
 	ignores, badDirectives := collectIgnores(u.Fset, u.Files)
 	var out []Diagnostic
@@ -113,6 +138,7 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     u.Files,
 			Pkg:       u.Pkg,
 			TypesInfo: u.Info,
+			store:     store,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkgPath, err)

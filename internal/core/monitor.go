@@ -37,36 +37,36 @@ type Monitor struct {
 	window     time.Duration
 	evictAfter time.Duration
 	tolerance  time.Duration
-	series     map[vanet.NodeID]*timeseries.Series
-	lastObs    map[vanet.NodeID]time.Duration
-	now        time.Duration
-	evicted    uint64
+	series     map[vanet.NodeID]*timeseries.Series // voiceprintvet:guardedby mu
+	lastObs    map[vanet.NodeID]time.Duration      // voiceprintvet:guardedby mu
+	now        time.Duration                       // voiceprintvet:guardedby mu
+	evicted    uint64                              // voiceprintvet:guardedby mu
 
 	// version counts accepted observations and evictions; together with a
 	// round's window end it fingerprints the detector input, so a round
 	// whose fingerprint matches the previous one can reuse its Result.
-	version uint64
+	version uint64 // voiceprintvet:guardedby mu
 	// obsVer records, per identity, the version of its last accepted
 	// observation. Version is monotone across evictions, so an identity
 	// that is evicted and reappears can never repeat an old value —
 	// which makes obsVer the per-identity half of the dirty-pair cache's
 	// fingerprints (see pairMemo).
-	obsVer map[vanet.NodeID]uint64
+	obsVer map[vanet.NodeID]uint64 // voiceprintvet:guardedby mu
 	// memo is the dirty-pair cache: exact pairwise raw distances keyed by
 	// the two identities' window-view fingerprints, reused for pairs
 	// provably unchanged since the previous round. nil when disabled.
-	memo *pairMemo
+	memo *pairMemo // voiceprintvet:guardedby mu
 	// input, views and heard are reused across rounds: input is the map
 	// handed to the detector, views holds one zero-copy window header per
 	// tracked identity, heard collects the ids seen this window.
-	input map[vanet.NodeID]*timeseries.Series
-	views map[vanet.NodeID]*timeseries.Series
-	heard []vanet.NodeID
+	input map[vanet.NodeID]*timeseries.Series // voiceprintvet:guardedby mu
+	views map[vanet.NodeID]*timeseries.Series // voiceprintvet:guardedby mu
+	heard []vanet.NodeID                      // voiceprintvet:guardedby mu
 	// Unchanged-round cache: the previous round's result and fingerprint.
-	lastRes *Result
-	lastVer uint64
-	lastEnd time.Duration
-	cached  uint64
+	lastRes *Result       // voiceprintvet:guardedby mu
+	lastVer uint64        // voiceprintvet:guardedby mu
+	lastEnd time.Duration // voiceprintvet:guardedby mu
+	cached  uint64        // voiceprintvet:guardedby mu
 
 	// Fusion state: the configured extra signals and, when fusion is
 	// enabled, the per-identity claimed-position samples (appended by
@@ -74,9 +74,9 @@ type Monitor struct {
 	// fusion is off — claimed positions are then ignored entirely, which
 	// keeps plain rounds bit-identical.
 	fusion FusionOptions
-	claims map[vanet.NodeID][]ClaimSample
+	claims map[vanet.NodeID][]ClaimSample // voiceprintvet:guardedby mu
 	// claimsIn is the reusable window slice handed to signals.
-	claimsIn map[vanet.NodeID][]ClaimSample
+	claimsIn map[vanet.NodeID][]ClaimSample // voiceprintvet:guardedby mu
 }
 
 // MonitorConfig configures a Monitor.
@@ -235,6 +235,8 @@ func (m *Monitor) ObserveClamped(id vanet.NodeID, t time.Duration, rssi float64,
 // behind the monitor clock a timestamp may lag and still be clamped
 // forward. claim, when non-nil and fusion is enabled, is retained for
 // the round's fusion signals (its T is clamped along with the sample's).
+//
+// voiceprintvet:holds mu
 func (m *Monitor) observeLocked(id vanet.NodeID, t time.Duration, rssi float64, tolerance time.Duration, claim *ClaimSample) error {
 	if math.IsNaN(rssi) || math.IsInf(rssi, 0) {
 		return fmt.Errorf("%w: %v at %v", ErrNonFiniteRSSI, rssi, t)
@@ -294,6 +296,8 @@ func (m *Monitor) DetectAt(at time.Duration) (*Result, error) {
 // detectAtLocked runs one round with the window ending at end. Results
 // are shared with the unchanged-round cache, so callers must treat the
 // returned Result as read-only.
+//
+// voiceprintvet:holds mu
 func (m *Monitor) detectAtLocked(end time.Duration) (*Result, error) {
 	m.evictLocked()
 	if m.lastRes != nil && m.version == m.lastVer && end == m.lastEnd {
@@ -380,6 +384,8 @@ func (m *Monitor) detectAtLocked(end time.Duration) (*Result, error) {
 // strictly adding to it. Per-identity scores land in res.Signals. The
 // voiceprint round itself has already run; its pair evidence is in
 // res.Pairs.
+//
+// voiceprintvet:holds mu
 func (m *Monitor) fuseLocked(res *Result, from, end time.Duration) error {
 	if m.claimsIn == nil {
 		m.claimsIn = make(map[vanet.NodeID][]ClaimSample)
@@ -497,6 +503,8 @@ func (m *Monitor) CachedRounds() uint64 {
 
 // evictLocked drops identities that have gone silent, bounding memory on
 // long drives past thousands of vehicles. Callers hold m.mu.
+//
+// voiceprintvet:holds mu
 func (m *Monitor) evictLocked() {
 	for id, last := range m.lastObs {
 		if m.now-last > m.evictAfter {

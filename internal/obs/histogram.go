@@ -57,6 +57,8 @@ type Histogram struct {
 // Observe records one value in nanoseconds. Negative values clamp to
 // zero (they can only come from clock anomalies; losing them would skew
 // rates, crediting them negatively would corrupt the sum).
+//
+// voiceprintvet:noescape
 func (h *Histogram) Observe(ns int64) {
 	if ns < 0 {
 		ns = 0
@@ -66,6 +68,8 @@ func (h *Histogram) Observe(ns int64) {
 }
 
 // ObserveDuration records one duration.
+//
+// voiceprintvet:noescape
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
 
 // Snapshot returns a point-in-time copy of the histogram.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"voiceprint/internal/core"
@@ -37,11 +38,14 @@ type Registry struct {
 	metrics *Metrics
 	// journal, when non-nil, receives every observation before it is
 	// applied (write-ahead). Installed once at boot, after recovery
-	// replay, so replayed observations do not re-journal.
-	journal *wal.Log
+	// replay, so replayed observations do not re-journal. Ingest
+	// listeners may already be observing when the install happens, so
+	// the pointer is atomic: a plain field would be a data race between
+	// SetJournal and every Observe.
+	journal atomic.Pointer[wal.Log]
 
 	mu       sync.RWMutex
-	monitors map[vanet.NodeID]*core.Monitor
+	monitors map[vanet.NodeID]*core.Monitor // voiceprintvet:guardedby mu
 }
 
 // NewRegistry builds a Registry. The monitor template is validated
@@ -81,7 +85,7 @@ func NewRegistry(cfg RegistryConfig, metrics *Metrics) (*Registry, error) {
 // SetJournal installs the write-ahead log. Call it once at boot, after
 // recovery replay has finished and before ingest starts, so replayed
 // observations are not journaled a second time.
-func (r *Registry) SetJournal(l *wal.Log) { r.journal = l }
+func (r *Registry) SetJournal(l *wal.Log) { r.journal.Store(l) }
 
 // Observe routes one observation to its receiver's monitor, creating the
 // monitor on first contact. Stale observations (older than the reorder
@@ -95,7 +99,7 @@ func (r *Registry) SetJournal(l *wal.Log) { r.journal = l }
 // the monitor pipeline is deterministic). A journal append failure is
 // deliberately not fatal to the apply: availability over durability.
 func (r *Registry) Observe(o Observation) error {
-	if l := r.journal; l != nil {
+	if l := r.journal.Load(); l != nil {
 		l.Begin()
 		defer l.End()
 		if o.Pos != nil {

@@ -48,14 +48,16 @@ type Scheduler struct {
 
 	// journal, when non-nil, records every completed round boundary so
 	// recovery can re-run the same rounds and rebuild the confirmation
-	// history. Installed once at boot, after recovery replay.
-	journal *wal.Log
+	// history. Installed once at boot, after recovery replay; rounds may
+	// already be dispatching by then, so the pointer is atomic (see
+	// Registry.journal).
+	journal atomic.Pointer[wal.Log]
 	// lastRound is the wall-clock UnixNano of the most recently completed
 	// round (0 until the first); /healthz gates on its age.
 	lastRound atomic.Int64
 
 	mu       sync.Mutex
-	inflight map[vanet.NodeID]bool
+	inflight map[vanet.NodeID]bool // voiceprintvet:guardedby mu
 }
 
 // NewScheduler builds a scheduler with the given pool size (0 means
@@ -157,7 +159,7 @@ func (s *Scheduler) Drain() { s.wg.Wait() }
 
 // SetJournal installs the write-ahead log for round boundaries. Call it
 // once at boot, after recovery replay and before the first tick.
-func (s *Scheduler) SetJournal(l *wal.Log) { s.journal = l }
+func (s *Scheduler) SetJournal(l *wal.Log) { s.journal.Store(l) }
 
 // LastRound returns when the most recent round completed (the zero time
 // until the first round has run).
@@ -177,7 +179,7 @@ func (s *Scheduler) round(recv vanet.NodeID, at time.Duration) (out RoundOutcome
 	// Liveness stamp; registered first so it runs last, after the round's
 	// outcome (including a recovered panic) is settled.
 	defer func() { s.lastRound.Store(time.Now().UnixNano()) }()
-	if l := s.journal; l != nil {
+	if l := s.journal.Load(); l != nil {
 		// The barrier spans run-then-journal: a concurrent snapshot either
 		// captures monitor state without this round's effects and replays
 		// its record, or captures after both — never in between. out.At is

@@ -182,8 +182,8 @@ type Server struct {
 	ln net.Listener
 
 	mu     sync.Mutex
-	conns  map[*serverConn]struct{}
-	closed bool
+	conns  map[*serverConn]struct{} // voiceprintvet:guardedby mu
+	closed bool                     // voiceprintvet:guardedby mu
 
 	connWG sync.WaitGroup
 }

@@ -76,8 +76,8 @@ type Conn struct {
 	rng *rand.Rand
 
 	mu     sync.Mutex
-	pend   []byte
-	broken bool
+	pend   []byte // voiceprintvet:guardedby mu
+	broken bool   // voiceprintvet:guardedby mu
 }
 
 // ErrInjectedReset is returned (wrapped) by Write when the chaos layer
@@ -156,6 +156,9 @@ func (c *Conn) Flush() error {
 	return c.flushLocked()
 }
 
+// flushLocked delivers (or, broken, drops) the coalesced bytes.
+//
+// voiceprintvet:holds mu
 func (c *Conn) flushLocked() error {
 	if c.broken || len(c.pend) == 0 {
 		c.pend = nil

@@ -89,6 +89,8 @@ var (
 
 // AppendRecord appends r's framed encoding to dst and returns the
 // extended slice. The only error is an unknown Kind.
+//
+// voiceprintvet:noescape
 func AppendRecord(dst []byte, r Record) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, make([]byte, frameHeader)...)
@@ -112,12 +114,22 @@ func AppendRecord(dst []byte, r Record) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.X))
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Y))
 	default:
-		return dst[:start], fmt.Errorf("%w: unknown kind %d", ErrBadRecord, r.Kind)
+		return dst[:start], errUnknownKind(r.Kind)
 	}
 	payload := dst[start+frameHeader:]
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
 	return dst, nil
+}
+
+// errUnknownKind formats AppendRecord's only failure off the append hot
+// path; fmt's argument boxing would otherwise break the encoder's
+// escape budget. Kept out of line so the boxing stays in this cold
+// frame instead of being inlined back into the budgeted caller.
+//
+//go:noinline
+func errUnknownKind(k Kind) error {
+	return fmt.Errorf("%w: unknown kind %d", ErrBadRecord, k)
 }
 
 // DecodeRecord decodes the first framed record in b, returning it and

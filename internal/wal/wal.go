@@ -133,17 +133,17 @@ type Log struct {
 	barrier sync.RWMutex
 
 	mu      sync.Mutex
-	f       *os.File
-	seg     uint64 // active segment index
-	segSize int64
-	buf     []byte // append encode scratch, reused
-	dirty   bool   // bytes written since the last fsync
-	closed  bool
-	aborted bool
+	f       *os.File // voiceprintvet:guardedby mu
+	seg     uint64   // voiceprintvet:guardedby mu — active segment index
+	segSize int64    // voiceprintvet:guardedby mu
+	buf     []byte   // voiceprintvet:guardedby mu — append encode scratch, reused
+	dirty   bool     // voiceprintvet:guardedby mu — bytes written since the last fsync
+	closed  bool     // voiceprintvet:guardedby mu
+	aborted bool     // voiceprintvet:guardedby mu
 
-	lastSnapSeg uint64    // NextSegment of the newest snapshot; 0 = none
-	lastSnapAt  time.Time // zero = none
-	sinceSnap   int64     // bytes appended since the last snapshot
+	lastSnapSeg uint64    // voiceprintvet:guardedby mu — NextSegment of the newest snapshot; 0 = none
+	lastSnapAt  time.Time // voiceprintvet:guardedby mu — zero = none
+	sinceSnap   int64     // voiceprintvet:guardedby mu — bytes appended since the last snapshot
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -188,7 +188,11 @@ func Open(opts Options) (*Log, *Recovery, error) {
 
 // recover scans the directory and prepares the Recovery. On return,
 // l.seg holds the index the fresh active segment must use and the
-// snapshot bookkeeping reflects the newest loaded snapshot.
+// snapshot bookkeeping reflects the newest loaded snapshot. Only Open
+// calls it, on the not-yet-published log — the holds contract records
+// that its field writes require exclusive access.
+//
+// voiceprintvet:holds mu
 func (l *Log) recover() (*Recovery, error) {
 	entries, err := os.ReadDir(l.opts.Dir)
 	if err != nil {
@@ -335,7 +339,10 @@ func parseIndexed(name, prefix, suffix string) (uint64, bool) {
 }
 
 // createSegment opens a fresh active segment with the given index and
-// writes its header. The caller holds no lock (Open) or l.mu (rotate).
+// writes its header. Callers hold l.mu (rotateLocked) or exclusive
+// access to an unpublished log (Open).
+//
+// voiceprintvet:holds mu
 func (l *Log) createSegment(idx uint64) error {
 	f, err := os.OpenFile(l.segPath(idx), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
@@ -372,6 +379,8 @@ func syncDir(dir string) {
 // Begin acquires the snapshot barrier shared: hold it across one
 // journal-then-apply (or run-then-journal) step so a concurrent
 // snapshot can never capture half of it. End releases.
+//
+//voiceprintvet:ignore lockdiscipline Begin/End is a deliberate barrier API: the shared lock is handed to the caller and released by End
 func (l *Log) Begin() { l.barrier.RLock() }
 
 // End releases the barrier taken by Begin.
@@ -435,6 +444,9 @@ func (l *Log) Append(r Record) error {
 	return nil
 }
 
+// usableLocked rejects appends on a closed or aborted log.
+//
+// voiceprintvet:holds mu
 func (l *Log) usableLocked() error {
 	if l.closed || l.aborted {
 		return ErrClosed
@@ -444,6 +456,8 @@ func (l *Log) usableLocked() error {
 
 // rotateLocked seals the active segment (final fsync unless SyncNone)
 // and opens the next one. Callers hold l.mu.
+//
+// voiceprintvet:holds mu
 func (l *Log) rotateLocked() error {
 	if l.opts.Policy != SyncNone {
 		if err := l.syncLocked(); err != nil {
@@ -457,6 +471,8 @@ func (l *Log) rotateLocked() error {
 }
 
 // syncLocked fsyncs the active segment if it has unsynced bytes.
+//
+// voiceprintvet:holds mu
 func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
